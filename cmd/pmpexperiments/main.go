@@ -1,0 +1,126 @@
+// Command pmpexperiments runs the paper-reproduction experiment
+// harness and prints each table/figure in DESIGN.md's experiment index.
+//
+// Usage:
+//
+//	pmpexperiments [-scale quick|default|full] [-exp ID[,ID...]] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pmp/internal/bench"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "experiment scale: quick, default or full")
+	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all); see -list")
+	listFlag := flag.Bool("list", false, "list experiment IDs and exit")
+	csvDir := flag.String("csv", "", "also write each experiment as <dir>/<ID>.csv")
+	flag.Parse()
+
+	ids := map[string]string{
+		"T1":   "Table I: pattern collision/duplicate rates",
+		"F2":   "Fig 2: pattern frequency concentration",
+		"F4":   "Fig 4: ICDD per clustering feature",
+		"F5":   "Fig 5: pattern heat maps",
+		"T3":   "Tables II/III/V: storage overhead",
+		"F8":   "Fig 8: single-core NIPC",
+		"F9":   "Fig 9: coverage and accuracy",
+		"F10":  "Fig 10: useful/useless prefetches",
+		"NMT":  "§V-D: normalized memory traffic",
+		"T8":   "Table VIII: Design B ways sweep",
+		"EXT":  "§V-E2: extraction schemes",
+		"MF":   "§V-E3: multi-feature structures",
+		"T9":   "Table IX: pattern length sweep",
+		"T10a": "Table X: trigger offset width sweep",
+		"T10b": "Table X: counter size sweep",
+		"T11":  "Table XI: monitoring range sweep",
+		"F12a": "Fig 12a: bandwidth sensitivity",
+		"F12b": "Fig 12b: LLC size sensitivity",
+		"F13":  "Fig 13: 4-core performance",
+		"ABL":  "extension: PMP mechanism ablations",
+		"REL":  "extension: related-work prefetchers (§VI)",
+		"PLC":  "§V-B: PMP@L1 vs original Bingo@LLC placement",
+		"THR":  "extension: AFE threshold sweep",
+	}
+	if *listFlag {
+		for _, id := range []string{"T1", "F2", "F4", "F5", "T3", "F8", "F9", "F10", "NMT",
+			"T8", "EXT", "MF", "T9", "T10a", "T10b", "T11", "F12a", "F12b", "F13", "ABL", "REL", "PLC", "THR"} {
+			fmt.Printf("%-5s %s\n", id, ids[id])
+		}
+		return
+	}
+
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = bench.QuickScale()
+	case "default":
+		scale = bench.DefaultScale()
+	case "full":
+		scale = bench.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	start := time.Now()
+	r := bench.NewRunner(scale)
+	run := func(id string, f func() *bench.Table) {
+		if len(want) > 0 && !want[id] {
+			return
+		}
+		t0 := time.Now()
+		tbl := f()
+		fmt.Println(tbl)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			} else {
+				path := *csvDir + "/" + id + ".csv"
+				if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				}
+			}
+		}
+		fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("T1", func() *bench.Table { return bench.TableI(scale) })
+	run("F2", func() *bench.Table { return bench.Fig2(scale) })
+	run("F4", func() *bench.Table { return bench.Fig4(scale) })
+	run("F5", func() *bench.Table { return bench.Fig5(scale) })
+	run("T3", bench.Storage)
+	run("F8", func() *bench.Table { return bench.Fig8(r) })
+	run("F9", func() *bench.Table { return bench.Fig9(r) })
+	run("F10", func() *bench.Table { return bench.Fig10(r) })
+	run("NMT", func() *bench.Table { return bench.NMT(r) })
+	run("T8", func() *bench.Table { return bench.TableVIII(r) })
+	run("EXT", func() *bench.Table { return bench.Extraction(r) })
+	run("MF", func() *bench.Table { return bench.MultiFeature(r) })
+	run("T9", func() *bench.Table { return bench.TableIX(r) })
+	run("T10a", func() *bench.Table { return bench.TableXOffsetWidth(r) })
+	run("T10b", func() *bench.Table { return bench.TableXCounterSize(r) })
+	run("T11", func() *bench.Table { return bench.TableXI(r) })
+	run("F12a", func() *bench.Table { return bench.Fig12Bandwidth(r) })
+	run("F12b", func() *bench.Table { return bench.Fig12LLC(r) })
+	run("F13", func() *bench.Table { return bench.Fig13(scale) })
+	run("ABL", func() *bench.Table { return bench.Ablations(r) })
+	run("REL", func() *bench.Table { return bench.Related(r) })
+	run("PLC", func() *bench.Table { return bench.Placement(r) })
+	run("THR", func() *bench.Table { return bench.Thresholds(r) })
+
+	fmt.Printf("total elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,110 @@
+// Command pmpsim runs a single simulation: one trace (a suite trace by
+// name, a trace file, or a synthetic generator) against one prefetcher,
+// and prints the measured result.
+//
+// Usage:
+//
+//	pmpsim -pf pmp -trace spec06.stream-0 -records 500000
+//	pmpsim -pf bingo -file trace.pmpt
+//	pmpsim -list-traces | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmp/internal/bench"
+	"pmp/internal/sim"
+	"pmp/internal/trace"
+)
+
+func main() {
+	pfName := flag.String("pf", "pmp", "prefetcher: none, nextline, stride, dspatch, bingo, spp-ppf, pythia, pmp, pmp-limit")
+	traceName := flag.String("trace", "spec06.stream-0", "suite trace name (see -list-traces)")
+	file := flag.String("file", "", "trace file path (overrides -trace)")
+	records := flag.Int("records", 500_000, "records to generate for suite traces")
+	warmup := flag.Uint64("warmup", 200_000, "warm-up instructions")
+	measure := flag.Uint64("measure", 0, "measured instructions (0 = rest of trace)")
+	mtps := flag.Int("bandwidth", 3200, "DRAM transfer rate in MT/s")
+	llcMB := flag.Int("llc", 2, "LLC size in MB")
+	llcpf := flag.String("llcpf", "", "additionally attach a prefetcher at the LLC (trains on LLC accesses, fills LLC)")
+	baseline := flag.Bool("baseline", false, "also run the non-prefetching baseline and report NIPC")
+	listTraces := flag.Bool("list-traces", false, "list suite trace names and exit")
+	flag.Parse()
+
+	if *listTraces {
+		for _, sp := range append(trace.Suite(), trace.ExtraSpecs()...) {
+			fmt.Printf("%-24s %-8s %s MPKI class\n", sp.Name, sp.Family, sp.Class)
+		}
+		return
+	}
+
+	src, err := openSource(*file, *traceName, *records)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := sim.DefaultConfig().WithBandwidth(*mtps).WithLLCMB(*llcMB)
+	cfg.Warmup = *warmup
+	cfg.Measure = *measure
+
+	pf, err := bench.TryNewPrefetcher(*pfName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmpsim:", err)
+		os.Exit(2)
+	}
+	sys := sim.NewSystem(cfg, pf)
+	if *llcpf != "" {
+		lp, err := bench.TryNewPrefetcher(*llcpf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmpsim:", err)
+			os.Exit(2)
+		}
+		sys.AttachLLCPrefetcher(lp)
+	}
+	res := sys.Run(src)
+	printResult(res)
+
+	if *baseline {
+		base := sim.NewSystem(cfg, bench.NewPrefetcher(bench.NameNone)).Run(src)
+		fmt.Printf("\nbaseline IPC %.4f -> NIPC %.4f, NMT %.1f%%\n",
+			base.IPC(), res.IPC()/base.IPC(),
+			100*float64(res.DRAM.Requests)/float64(base.DRAM.Requests))
+	}
+}
+
+func openSource(file, name string, records int) (trace.Source, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	}
+	for _, sp := range append(trace.Suite(), trace.ExtraSpecs()...) {
+		if sp.Name == name {
+			return sp.New(records), nil
+		}
+	}
+	return nil, fmt.Errorf("pmpsim: unknown trace %q (try -list-traces)", name)
+}
+
+func printResult(r sim.Result) {
+	fmt.Printf("trace       %s\nprefetcher  %s\n", r.Trace, r.Prefetcher)
+	fmt.Printf("instructions %d, cycles %d, IPC %.4f, LLC MPKI %.2f\n",
+		r.Instructions, r.Cycles, r.IPC(), r.MPKI())
+	fmt.Printf("L1D: %d accesses, %d misses, useful/useless prefetch %d/%d (acc %.1f%%), late %d\n",
+		r.L1D.DemandAccesses, r.L1D.DemandMisses,
+		r.L1D.UsefulPrefetch, r.L1D.UselessPrefetx, 100*r.L1D.Accuracy(), r.L1D.LatePrefetch)
+	fmt.Printf("L2C: %d misses, useful/useless prefetch %d/%d (acc %.1f%%)\n",
+		r.L2C.DemandMisses, r.L2C.UsefulPrefetch, r.L2C.UselessPrefetx, 100*r.L2C.Accuracy())
+	fmt.Printf("LLC: %d misses, useful/useless prefetch %d/%d (acc %.1f%%)\n",
+		r.LLC.DemandMisses, r.LLC.UsefulPrefetch, r.LLC.UselessPrefetx, 100*r.LLC.Accuracy())
+	fmt.Printf("DRAM: %d requests (%d demand, %d prefetch)\n",
+		r.DRAM.Requests, r.DRAM.DemandRequests, r.DRAM.PrefetchRequests)
+	fmt.Printf("prefetches issued: L1D %d, L2C %d, LLC %d (dropped: %d filtered, %d no-slot)\n",
+		r.PF.Issued[1], r.PF.Issued[2], r.PF.Issued[3], r.PF.DroppedPQ, r.PF.DroppedMSH)
+}

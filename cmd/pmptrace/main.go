@@ -1,0 +1,93 @@
+// Command pmptrace generates synthetic workload traces and writes them
+// as .pmpt files, or inspects existing trace files.
+//
+// Usage:
+//
+//	pmptrace -gen spec06.mcf-26 -records 1000000 -o mcf.pmpt
+//	pmptrace -info mcf.pmpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmp/internal/trace"
+)
+
+func main() {
+	gen := flag.String("gen", "", "suite trace name to generate (see pmpsim -list-traces)")
+	records := flag.Int("records", 1_000_000, "records to generate")
+	out := flag.String("o", "", "output file (required with -gen)")
+	info := flag.String("info", "", "print summary of an existing trace file")
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		if err := printInfo(*info); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *gen != "":
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "pmptrace: -gen requires -o")
+			os.Exit(2)
+		}
+		if err := generate(*gen, *records, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(name string, records int, out string) error {
+	for _, sp := range append(trace.Suite(), trace.ExtraSpecs()...) {
+		if sp.Name != name {
+			continue
+		}
+		tr := trace.Collect(sp.New(records), 0)
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Write(f, tr); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d records to %s\n", tr.Len(), out)
+		return nil
+	}
+	return fmt.Errorf("pmptrace: unknown trace %q", name)
+}
+
+func printInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	var instr, deps uint64
+	pcs := map[uint64]struct{}{}
+	pages := map[uint64]struct{}{}
+	for _, r := range tr.Records() {
+		instr += r.Instructions()
+		if r.Dep != trace.DepNone {
+			deps++
+		}
+		pcs[r.PC] = struct{}{}
+		pages[r.Addr.PageID()] = struct{}{}
+	}
+	fmt.Printf("name        %s\n", tr.Name())
+	fmt.Printf("records     %d (%d instructions)\n", tr.Len(), instr)
+	fmt.Printf("dependent   %d (%.1f%%)\n", deps, 100*float64(deps)/float64(tr.Len()))
+	fmt.Printf("static PCs  %d\n", len(pcs))
+	fmt.Printf("4KB pages   %d\n", len(pages))
+	return nil
+}

@@ -1,0 +1,44 @@
+// graphrank runs a Ligra-like graph-analytics workload (CSR edge-array
+// bursts + power-law property lookups) against all five evaluated
+// prefetchers on the paper's Table IV system — a one-workload slice of
+// Fig 8.
+//
+//	go run ./examples/graphrank
+package main
+
+import (
+	"fmt"
+
+	"pmp/internal/bench"
+	"pmp/internal/sim"
+	"pmp/internal/trace"
+)
+
+func main() {
+	mk := func() trace.Source {
+		p := trace.DefaultGraphParams()
+		return trace.NewGraph("pagerank-like", 7, 300_000, p)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Warmup = 200_000
+
+	base := sim.NewSystem(cfg, bench.NewPrefetcher(bench.NameNone)).Run(mk())
+	fmt.Printf("baseline: IPC %.3f, LLC MPKI %.1f\n\n", base.IPC(), base.MPKI())
+	fmt.Printf("%-10s %8s %8s %12s %14s %10s\n",
+		"prefetcher", "NIPC", "NMT", "L1D useful", "L1D accuracy", "storage")
+
+	for _, name := range bench.EvalNames() {
+		pf := bench.NewPrefetcher(name)
+		res := sim.NewSystem(cfg, pf).Run(mk())
+		fmt.Printf("%-10s %8.3f %7.0f%% %12d %13.1f%% %7.1fKB\n",
+			name,
+			res.IPC()/base.IPC(),
+			100*float64(res.DRAM.Requests)/float64(base.DRAM.Requests),
+			res.L1D.UsefulPrefetch,
+			100*res.L1D.Accuracy(),
+			float64(pf.StorageBits())/8/1024)
+	}
+	fmt.Println("\nThe edge-array bursts are spatially dense, so region-pattern")
+	fmt.Println("prefetchers cover them; the power-law property lookups are the")
+	fmt.Println("irregular residue no prefetcher reaches (paper §V-B, Ligra bars).")
+}

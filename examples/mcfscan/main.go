@@ -1,0 +1,54 @@
+// mcfscan reproduces the paper's §III MCF discussion end-to-end: a
+// workload that walks big arrays backward through ->pred pointers
+// enters every region at its top offset, producing the big-trigger-
+// offset patterns PMP clusters perfectly. The example shows the heat
+// map and then measures how much PMP recovers on a full system
+// simulation.
+//
+//	go run ./examples/mcfscan
+package main
+
+import (
+	"fmt"
+
+	"pmp/internal/analysis"
+	"pmp/internal/bench"
+	"pmp/internal/sim"
+	"pmp/internal/trace"
+)
+
+func main() {
+	mk := func() trace.Source {
+		return trace.NewBackward("mcf-like", 42, 300_000, trace.DefaultBackwardParams())
+	}
+
+	// 1. The pattern structure (paper Fig 5a): trigger-offset-indexed
+	// heat map of the captured patterns. The top rows fill leftward —
+	// backward walks — and a diagonal slash marks the local window.
+	corpus := analysis.Capture(mk(), 0)
+	fmt.Printf("captured %d patterns; trigger-offset heat map (rows = trigger, cols = offset):\n\n",
+		len(corpus.Patterns))
+	fmt.Print(analysis.RenderHeatMap(analysis.HeatMap(corpus, analysis.FeatTriggerOffset)))
+
+	// 2. The ICDD story (paper Fig 4): trigger offsets cluster these
+	// patterns far better than PC+Address.
+	fmt.Printf("\nICDD by feature (lower = tighter clusters):\n")
+	for _, f := range []analysis.Feature{analysis.FeatTriggerOffset, analysis.FeatPC, analysis.FeatPCAddress} {
+		fmt.Printf("  %-26s %6.3f\n", f, analysis.ICDD(corpus, f))
+	}
+
+	// 3. End to end: simulate the paper's Table IV system with and
+	// without PMP.
+	cfg := sim.DefaultConfig()
+	cfg.Warmup = 200_000
+	base := sim.NewSystem(cfg, bench.NewPrefetcher(bench.NameNone)).Run(mk())
+	pmp := sim.NewSystem(cfg, bench.NewPrefetcher(bench.NamePMP)).Run(mk())
+
+	fmt.Printf("\nsimulation (Table IV system):\n")
+	fmt.Printf("  baseline: IPC %.3f, L1D misses %d\n", base.IPC(), base.L1D.DemandMisses)
+	fmt.Printf("  with PMP: IPC %.3f, L1D misses %d, L1D accuracy %.1f%%\n",
+		pmp.IPC(), pmp.L1D.DemandMisses, 100*pmp.L1D.Accuracy())
+	fmt.Printf("  speedup: %.2fx — backward pointer walks serialize misses, so\n",
+		pmp.IPC()/base.IPC())
+	fmt.Println("  region-deep prefetching collapses the dependent-miss chain.")
+}

@@ -1,0 +1,3 @@
+module pmp
+
+go 1.22

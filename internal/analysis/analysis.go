@@ -1,0 +1,311 @@
+// Package analysis reproduces the paper's Section III pattern studies:
+// pattern collision/duplicate rates per indexing feature (Table I),
+// pattern frequency concentration (Fig 2), intra-cluster centroid
+// diameter distance per feature (Fig 4), and offset heat maps (Fig 5).
+//
+// Patterns are captured with the same SMS framework configuration the
+// paper uses for its motivation study: a 4x16 Filter Table, an 8x16
+// Accumulation Table and 64-line (4KB) patterns.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"pmp/internal/mem"
+	"pmp/internal/sms"
+	"pmp/internal/trace"
+)
+
+// Corpus is a bag of captured patterns; each element is one occurrence.
+type Corpus struct {
+	Patterns []sms.Pattern
+}
+
+// CaptureConfig returns the paper's Section III capture geometry.
+func CaptureConfig() sms.Config {
+	return sms.Config{
+		Region: mem.NewRegion(mem.DefaultRegion),
+		FTSets: 4, FTWays: 16,
+		ATSets: 8, ATWays: 16,
+	}
+}
+
+// Capture replays a trace through the capture framework and collects
+// every completed pattern (limit <= 0 captures the whole trace).
+// Patterns close on Accumulation Table displacement and a final flush,
+// mirroring the paper's trace-analysis setup.
+func Capture(src trace.Source, limit int) *Corpus {
+	fw := sms.New(CaptureConfig())
+	c := &Corpus{}
+	src.Reset()
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		_, _, closed := fw.Observe(r.PC, r.Addr)
+		c.Patterns = append(c.Patterns, closed...)
+		if limit > 0 && len(c.Patterns) >= limit {
+			return c
+		}
+	}
+	c.Patterns = append(c.Patterns, fw.Flush()...)
+	return c
+}
+
+// CaptureAll merges the captures of several traces into one corpus.
+func CaptureAll(srcs []trace.Source, limitPer int) *Corpus {
+	c := &Corpus{}
+	for _, s := range srcs {
+		c.Patterns = append(c.Patterns, Capture(s, limitPer).Patterns...)
+	}
+	return c
+}
+
+// Feature is one of the indexing features compared in Table I / Fig 4.
+type Feature int
+
+// The features from the paper's Table I.
+const (
+	FeatPC Feature = iota
+	FeatTriggerOffset
+	FeatPCTrigger
+	FeatAddress
+	FeatPCAddress
+)
+
+// String implements fmt.Stringer using the paper's labels.
+func (f Feature) String() string {
+	switch f {
+	case FeatPC:
+		return "PC (32b)"
+	case FeatTriggerOffset:
+		return "Trigger Offset (6b)"
+	case FeatPCTrigger:
+		return "PC+Trigger Offset (38b)"
+	case FeatAddress:
+		return "Address (48b)"
+	case FeatPCAddress:
+		return "PC+Address (80b)"
+	default:
+		return "invalid"
+	}
+}
+
+// Features lists all Table I features in presentation order.
+func Features() []Feature {
+	return []Feature{FeatPC, FeatTriggerOffset, FeatPCTrigger, FeatAddress, FeatPCAddress}
+}
+
+// Value returns the full-width feature value of a pattern, used for the
+// collision/duplicate analysis.
+func (f Feature) Value(p sms.Pattern) uint64 {
+	pc32 := p.PC & 0xffffffff
+	addr48 := uint64(p.TriggerAddr.Line()) & 0xffffffffffff
+	switch f {
+	case FeatPC:
+		return pc32
+	case FeatTriggerOffset:
+		return uint64(p.Trigger)
+	case FeatPCTrigger:
+		return pc32<<6 | uint64(p.Trigger)
+	case FeatAddress:
+		return addr48
+	case FeatPCAddress:
+		return mem.Mix64(pc32<<32 ^ addr48) // 80b feature folded to a unique-ish 64b key
+	default:
+		return 0
+	}
+}
+
+// Hash6 clusters the feature into 64 sets, the Fig 4 / Fig 5 setup
+// ("all the features have the same value range ... a width of 6 bits").
+func (f Feature) Hash6(p sms.Pattern) int {
+	if f == FeatTriggerOffset {
+		return p.Trigger & 63
+	}
+	return int(mem.FoldXOR(mem.Mix64(f.Value(p)), 6))
+}
+
+// patternKey identifies a pattern for identity comparisons. The paper
+// compares patterns in their anchored form (the form that is actually
+// stored and merged).
+func patternKey(p sms.Pattern) uint64 { return p.Anchored().Bits() }
+
+// PCRPDR computes the average Pattern Collision Rate (distinct patterns
+// per feature value) and Pattern Duplicate Rate (feature values per
+// distinct pattern) over the corpus — Table I.
+func PCRPDR(c *Corpus, f Feature) (pcr, pdr float64) {
+	byFeature := map[uint64]map[uint64]struct{}{}
+	byPattern := map[uint64]map[uint64]struct{}{}
+	for _, p := range c.Patterns {
+		fv := f.Value(p)
+		pk := patternKey(p)
+		if byFeature[fv] == nil {
+			byFeature[fv] = map[uint64]struct{}{}
+		}
+		byFeature[fv][pk] = struct{}{}
+		if byPattern[pk] == nil {
+			byPattern[pk] = map[uint64]struct{}{}
+		}
+		byPattern[pk][fv] = struct{}{}
+	}
+	if len(byFeature) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, pats := range byFeature {
+		sum += float64(len(pats))
+	}
+	pcr = sum / float64(len(byFeature))
+	sum = 0
+	for _, fvs := range byPattern {
+		sum += float64(len(fvs))
+	}
+	pdr = sum / float64(len(byPattern))
+	return pcr, pdr
+}
+
+// FrequencyStats summarizes pattern occurrence concentration (Fig 2 and
+// Observation 1's statistics).
+type FrequencyStats struct {
+	Occurrences int       // total pattern occurrences
+	Distinct    int       // distinct patterns
+	OnceFrac    float64   // fraction of distinct patterns seen exactly once
+	TopShare    []float64 // cumulative share of the top-K patterns, per requested K
+}
+
+// Frequencies computes occurrence concentration for the given top-K
+// list (e.g. 10, 100, 1000).
+func Frequencies(c *Corpus, topK []int) FrequencyStats {
+	counts := map[uint64]int{}
+	for _, p := range c.Patterns {
+		counts[patternKey(p)]++
+	}
+	st := FrequencyStats{Occurrences: len(c.Patterns), Distinct: len(counts)}
+	if st.Distinct == 0 {
+		st.TopShare = make([]float64, len(topK))
+		return st
+	}
+	once := 0
+	all := make([]int, 0, len(counts))
+	for _, n := range counts {
+		if n == 1 {
+			once++
+		}
+		all = append(all, n)
+	}
+	st.OnceFrac = float64(once) / float64(st.Distinct)
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	for _, k := range topK {
+		if k > len(all) {
+			k = len(all)
+		}
+		sum := 0
+		for _, n := range all[:k] {
+			sum += n
+		}
+		st.TopShare = append(st.TopShare, float64(sum)/float64(st.Occurrences))
+	}
+	return st
+}
+
+// ICDD computes the average Intra-cluster Centroid Diameter Distance of
+// the corpus clustered by the 6-bit feature (Fig 4, Equation 1): for
+// each non-empty cluster, twice the mean Euclidean distance between its
+// pattern vectors and their centroid; clusters are averaged unweighted.
+func ICDD(c *Corpus, f Feature) float64 {
+	n := mem.LinesPerPage
+	type cluster struct {
+		count int
+		sum   []float64
+		pats  []mem.BitVector
+	}
+	clusters := map[int]*cluster{}
+	for _, p := range c.Patterns {
+		key := f.Hash6(p)
+		cl := clusters[key]
+		if cl == nil {
+			cl = &cluster{sum: make([]float64, n)}
+			clusters[key] = cl
+		}
+		a := p.Anchored()
+		for i := 0; i < n; i++ {
+			if a.Test(i) {
+				cl.sum[i]++
+			}
+		}
+		cl.pats = append(cl.pats, a)
+		cl.count++
+	}
+	if len(clusters) == 0 {
+		return 0
+	}
+	var total float64
+	for _, cl := range clusters {
+		centroid := make([]float64, n)
+		for i := range centroid {
+			centroid[i] = cl.sum[i] / float64(cl.count)
+		}
+		var dist float64
+		for _, a := range cl.pats {
+			var d2 float64
+			for i := 0; i < n; i++ {
+				v := centroid[i]
+				if a.Test(i) {
+					v = 1 - v
+				}
+				d2 += v * v
+			}
+			dist += math.Sqrt(d2)
+		}
+		total += 2 * dist / float64(cl.count)
+	}
+	return total / float64(len(clusters))
+}
+
+// HeatMap builds the Fig 5 matrix for a feature: rows are the 64
+// feature indexes, columns the 64 region offsets; cell (i, o) counts
+// occurrences of patterns in cluster i that contain offset o. Offsets
+// are the pattern's raw (unanchored) region offsets, matching the
+// figure's x-axis.
+func HeatMap(c *Corpus, f Feature) [64][64]float64 {
+	var m [64][64]float64
+	for _, p := range c.Patterns {
+		row := f.Hash6(p) & 63
+		for o := 0; o < mem.LinesPerPage; o++ {
+			if p.Bits.Test(o) {
+				m[row][o]++
+			}
+		}
+	}
+	return m
+}
+
+// RenderHeatMap renders the matrix as ASCII art, darker glyphs meaning
+// more occurrences (log scale).
+func RenderHeatMap(m [64][64]float64) string {
+	shades := []byte(" .:-=+*#%@")
+	var maxV float64
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] > maxV {
+				maxV = m[i][j]
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	buf := make([]byte, 0, 65*64)
+	for i := range m {
+		for j := range m[i] {
+			v := math.Log1p(m[i][j]) / math.Log1p(maxV)
+			idx := int(v * float64(len(shades)-1))
+			buf = append(buf, shades[idx])
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf)
+}

@@ -1,0 +1,440 @@
+// Package bench is the experiment harness: one runner per table and
+// figure of the paper's evaluation (see DESIGN.md §5 for the full
+// index). Each runner executes the required simulations and returns a
+// Table whose rows mirror what the paper reports, so the repository's
+// benchmarks and the pmpexperiments command regenerate every artifact.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"pmp/internal/core"
+	"pmp/internal/prefetch"
+	"pmp/internal/prefetchers/bingo"
+	"pmp/internal/prefetchers/bop"
+	"pmp/internal/prefetchers/dspatch"
+	"pmp/internal/prefetchers/ghb"
+	"pmp/internal/prefetchers/isb"
+	"pmp/internal/prefetchers/misb"
+	"pmp/internal/prefetchers/nextline"
+	"pmp/internal/prefetchers/pythia"
+	"pmp/internal/prefetchers/sandbox"
+	"pmp/internal/prefetchers/smsref"
+	"pmp/internal/prefetchers/spp"
+	"pmp/internal/prefetchers/stride"
+	"pmp/internal/prefetchers/triage"
+	"pmp/internal/prefetchers/vldp"
+	"pmp/internal/sim"
+	"pmp/internal/trace"
+)
+
+// Scale sizes an experiment run. The paper uses 50M warm-up + 200M
+// measured instructions over 125 traces; the default scales that down
+// so the full harness completes in minutes, preserving relative
+// behaviour.
+type Scale struct {
+	Traces  int    // suite traces used (Representative subset)
+	Records int    // trace records generated per trace
+	Warmup  uint64 // warm-up instructions
+	Measure uint64 // measured instructions (0 = rest of trace)
+}
+
+// QuickScale is sized for unit tests and smoke benchmarks.
+func QuickScale() Scale {
+	return Scale{Traces: 6, Records: 60_000, Warmup: 40_000, Measure: 150_000}
+}
+
+// DefaultScale is the standard reduced evaluation.
+func DefaultScale() Scale {
+	return Scale{Traces: 16, Records: 250_000, Warmup: 150_000, Measure: 800_000}
+}
+
+// FullScale runs the complete 125-trace suite (hours, not minutes).
+func FullScale() Scale {
+	return Scale{Traces: 125, Records: 2_000_000, Warmup: 2_000_000, Measure: 8_000_000}
+}
+
+// Specs returns the trace subset for the scale.
+func (s Scale) Specs() []trace.Spec { return trace.Representative(s.Traces) }
+
+// Config returns the simulator configuration for the scale.
+func (s Scale) Config() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Warmup = s.Warmup
+	cfg.Measure = s.Measure
+	return cfg
+}
+
+// The prefetcher lineup of the paper's evaluation (Fig 8 order).
+const (
+	NameNone     = "none"
+	NameDSPatch  = "dspatch"
+	NameBingo    = "bingo"
+	NameSPPPPF   = "spp-ppf"
+	NamePythia   = "pythia"
+	NamePMP      = "pmp"
+	NamePMPLimit = "pmp-limit"
+	NameNextline = "nextline"
+	NameStride   = "stride"
+	NameBOP      = "bop"
+	NameSandbox  = "sandbox"
+	NameVLDP     = "vldp"
+	NameSMS      = "sms"
+	NameGHB      = "ghb"
+	NameISB      = "isb"
+	NameMISB     = "misb"
+	NameTriage   = "triage"
+)
+
+// EvalNames returns the paper's five evaluated prefetchers in
+// presentation order.
+func EvalNames() []string {
+	return []string{NameDSPatch, NameBingo, NameSPPPPF, NamePythia, NamePMP}
+}
+
+// RelatedNames returns the additional prefetchers from the paper's
+// related-work section implemented in this repository.
+func RelatedNames() []string {
+	return []string{
+		NameNextline, NameStride, NameBOP, NameSandbox, NameVLDP,
+		NameSMS, NameGHB, NameISB, NameMISB, NameTriage,
+	}
+}
+
+// Names lists every registered prefetcher name.
+func Names() []string {
+	return []string{
+		NameNone, NameNextline, NameStride, NameBOP, NameSandbox, NameVLDP,
+		NameSMS, NameGHB, NameISB, NameDSPatch, NameBingo, NameSPPPPF,
+		NamePythia, NamePMP, NamePMPLimit,
+	}
+}
+
+// TryNewPrefetcher constructs a prefetcher by name, reporting unknown
+// names as an error (for CLI surfaces).
+func TryNewPrefetcher(name string) (pf prefetch.Prefetcher, err error) {
+	for _, known := range Names() {
+		if name == known {
+			return NewPrefetcher(name), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown prefetcher %q (known: %s)", name, strings.Join(Names(), ", "))
+}
+
+// NewPrefetcher constructs a fresh prefetcher by name; it panics on an
+// unknown name (the registry is fixed). CLI surfaces should prefer
+// TryNewPrefetcher.
+func NewPrefetcher(name string) prefetch.Prefetcher {
+	switch name {
+	case NameNone:
+		return prefetch.Nop{}
+	case NameNextline:
+		return nextline.New(1)
+	case NameStride:
+		return stride.New(stride.DefaultConfig())
+	case NameBOP:
+		return bop.New(bop.DefaultConfig())
+	case NameSandbox:
+		return sandbox.New(sandbox.DefaultConfig())
+	case NameVLDP:
+		return vldp.New(vldp.DefaultConfig())
+	case NameSMS:
+		return smsref.New(smsref.DefaultConfig())
+	case NameGHB:
+		return ghb.New(ghb.DefaultConfig())
+	case NameISB:
+		return isb.New(isb.DefaultConfig())
+	case NameMISB:
+		return misb.New(misb.DefaultConfig())
+	case NameTriage:
+		return triage.New(triage.DefaultConfig())
+	case NameDSPatch:
+		return dspatch.New(dspatch.DefaultConfig())
+	case NameBingo:
+		return bingo.New(bingo.DefaultConfig())
+	case NameSPPPPF:
+		return spp.New(spp.DefaultConfig())
+	case NamePythia:
+		return pythia.New(pythia.DefaultConfig())
+	case NamePMP:
+		return core.New(core.DefaultConfig())
+	case NamePMPLimit:
+		cfg := core.DefaultConfig()
+		cfg.LowLevelDegree = 1
+		return core.New(cfg)
+	default:
+		panic(fmt.Sprintf("bench: unknown prefetcher %q", name))
+	}
+}
+
+// bingoOriginalConfig is the non-doubled DPC-3 Bingo (half the
+// enhanced pattern table), the configuration the paper places at the
+// LLC in §V-B.
+func bingoOriginalConfig() bingo.Config {
+	c := bingo.DefaultConfig()
+	c.PHTSets /= 2
+	return c
+}
+
+func bingoNew(c bingo.Config) prefetch.Prefetcher { return bingo.New(c) }
+
+// RunOne simulates one (trace, prefetcher) pair.
+func RunOne(spec trace.Spec, pf prefetch.Prefetcher, scale Scale, cfg sim.Config) sim.Result {
+	src := spec.New(scale.Records)
+	return sim.NewSystem(cfg, pf).Run(src)
+}
+
+// SuiteResult holds one prefetcher's results across the trace subset,
+// aligned with the baseline runs.
+type SuiteResult struct {
+	Name     string
+	Results  []sim.Result // one per trace, same order as Baseline
+	Baseline []sim.Result
+	Specs    []trace.Spec
+}
+
+// NIPC returns the geometric-mean normalized IPC across traces.
+func (s SuiteResult) NIPC() float64 {
+	return geomeanRatio(s.Results, s.Baseline, func(r sim.Result) float64 { return r.IPC() })
+}
+
+// NIPCByFamily returns geomean NIPC per trace family.
+func (s SuiteResult) NIPCByFamily() map[trace.Family]float64 {
+	idx := map[trace.Family][]int{}
+	for i, sp := range s.Specs {
+		idx[sp.Family] = append(idx[sp.Family], i)
+	}
+	out := map[trace.Family]float64{}
+	for fam, is := range idx {
+		var sum float64
+		n := 0
+		for _, i := range is {
+			b := s.Baseline[i].IPC()
+			if b <= 0 {
+				continue
+			}
+			sum += math.Log(s.Results[i].IPC() / b)
+			n++
+		}
+		if n > 0 {
+			out[fam] = math.Exp(sum / float64(n))
+		}
+	}
+	return out
+}
+
+// NMT returns the mean normalized memory traffic (total DRAM requests
+// over the baseline's), averaged across traces.
+func (s SuiteResult) NMT() float64 {
+	var sum float64
+	n := 0
+	for i := range s.Results {
+		b := float64(s.Baseline[i].DRAM.Requests)
+		if b == 0 {
+			continue
+		}
+		sum += float64(s.Results[i].DRAM.Requests) / b
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func geomeanRatio(a, b []sim.Result, metric func(sim.Result) float64) float64 {
+	var sum float64
+	n := 0
+	for i := range a {
+		den := metric(b[i])
+		if den <= 0 {
+			continue
+		}
+		sum += math.Log(metric(a[i]) / den)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Runner executes suite runs with a shared baseline cache, so sweeps
+// that reuse the same system configuration only simulate the baseline
+// once per trace.
+type Runner struct {
+	Scale Scale
+	specs []trace.Spec
+	base  map[string][]sim.Result // config fingerprint -> baseline results
+}
+
+// NewRunner builds a Runner for the scale.
+func NewRunner(scale Scale) *Runner {
+	return &Runner{
+		Scale: scale,
+		specs: scale.Specs(),
+		base:  map[string][]sim.Result{},
+	}
+}
+
+// Specs returns the runner's trace subset.
+func (r *Runner) Specs() []trace.Spec { return r.specs }
+
+// fingerprint keys the baseline cache by the complete configuration
+// (it is all value types), so sweeps over any field — bandwidth, LLC
+// size, cache policy, TLB geometry — get their own baselines.
+func fingerprint(cfg sim.Config) string {
+	return fmt.Sprintf("%+v", cfg)
+}
+
+// runParallel simulates every suite trace concurrently (one goroutine
+// per CPU); each simulation is fully independent, so results are
+// deterministic regardless of scheduling.
+func (r *Runner) runParallel(mk func() prefetch.Prefetcher, cfg sim.Config) []sim.Result {
+	res := make([]sim.Result, len(r.specs))
+	workers := runtime.NumCPU()
+	if workers > len(r.specs) {
+		workers = len(r.specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res[i] = RunOne(r.specs[i], mk(), r.Scale, cfg)
+			}
+		}()
+	}
+	for i := range r.specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return res
+}
+
+// Baseline returns (computing if needed) the non-prefetching results
+// for the configuration.
+func (r *Runner) Baseline(cfg sim.Config) []sim.Result {
+	key := fingerprint(cfg)
+	if res, ok := r.base[key]; ok {
+		return res
+	}
+	res := r.runParallel(func() prefetch.Prefetcher { return prefetch.Nop{} }, cfg)
+	r.base[key] = res
+	return res
+}
+
+// Run simulates every suite trace with fresh instances of the named
+// prefetcher (or with mk when non-nil, for custom configurations).
+func (r *Runner) Run(name string, mk func() prefetch.Prefetcher, cfg sim.Config) SuiteResult {
+	if mk == nil {
+		mk = func() prefetch.Prefetcher { return NewPrefetcher(name) }
+	}
+	return SuiteResult{
+		Name:     name,
+		Specs:    r.specs,
+		Baseline: r.Baseline(cfg),
+		Results:  r.runParallel(mk, cfg),
+	}
+}
+
+// --- Table rendering ---
+
+// Table is a rendered experiment artifact: the rows the paper reports.
+type Table struct {
+	ID     string // experiment id from DESIGN.md (e.g. "F8")
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows;
+// notes become trailing comment lines).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return c
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "# %s\n", n)
+	}
+	return sb.String()
+}
+
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+func sortedFamilies(m map[trace.Family]float64) []trace.Family {
+	fams := make([]trace.Family, 0, len(m))
+	for f := range m {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i] < fams[j] })
+	return fams
+}

@@ -1,0 +1,416 @@
+// Package cache implements the set-associative caches, MSHRs and
+// prefetch queues of the simulated memory hierarchy.
+//
+// The model is functional-with-timestamps rather than cycle-stepped:
+// lookups and fills happen immediately in program order, but every line
+// carries the cycle at which its fill completes, so a demand access that
+// arrives before an in-flight (e.g. prefetched) line is ready pays the
+// residual latency. This keeps simulation fast while preserving the
+// timing effects prefetching is about (late prefetches, MSHR pressure,
+// pollution).
+package cache
+
+import (
+	"fmt"
+
+	"pmp/internal/mem"
+)
+
+// Policy selects the replacement policy of a cache.
+type Policy uint8
+
+// Replacement policies.
+const (
+	// LRU evicts the least-recently-used line (the default).
+	LRU Policy = iota
+	// SRRIP is static re-reference interval prediction (Jaleel et al.,
+	// ISCA'10): 2-bit re-reference predictions per line; fills insert
+	// at long re-reference, hits promote to near, victims are lines at
+	// distant re-reference (aging the set as needed). More scan- and
+	// thrash-resistant than LRU at the LLC.
+	SRRIP
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case SRRIP:
+		return "srrip"
+	default:
+		return "invalid"
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name    string // display name ("L1D", "L2C", "LLC")
+	Sets    int    // number of sets (power of two)
+	Ways    int    // associativity
+	Latency uint64 // access latency in core cycles
+	MSHRs   int    // miss status holding registers
+	PQSize  int    // prefetch queue entries
+	Policy  Policy // replacement policy (default LRU)
+}
+
+// Validate reports a descriptive error for malformed configurations.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %s: sets must be a positive power of two, got %d", c.Name, c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: ways must be positive, got %d", c.Name, c.Ways)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache %s: MSHRs must be positive, got %d", c.Name, c.MSHRs)
+	}
+	if c.Policy > SRRIP {
+		return fmt.Errorf("cache %s: unknown replacement policy %d", c.Name, c.Policy)
+	}
+	return nil
+}
+
+// SizeBytes returns the data capacity of the configuration.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * mem.LineBytes }
+
+type line struct {
+	tag        mem.Addr // line-aligned address
+	valid      bool
+	lru        uint64 // last-touch stamp (LRU policy)
+	rrpv       uint8  // re-reference prediction value (SRRIP policy)
+	ready      uint64 // cycle the fill completes
+	prefetched bool   // filled by a prefetch
+	used       bool   // demand-touched since fill
+}
+
+// Stats accumulates per-level counters. Demand counters only advance
+// while the owning Cache has stats enabled (warm-up runs with them off).
+type Stats struct {
+	DemandAccesses uint64
+	DemandHits     uint64
+	DemandMisses   uint64
+
+	PrefetchFills  uint64 // prefetch fills inserted at this level
+	UsefulPrefetch uint64 // prefetched lines later demand-hit
+	UselessPrefetx uint64 // prefetched lines evicted untouched
+	LatePrefetch   uint64 // demand hit a prefetched line still in flight
+}
+
+// Accuracy returns useful/(useful+useless) prefetch accuracy, or 0 when
+// no prefetch outcome has been observed.
+func (s Stats) Accuracy() float64 {
+	tot := s.UsefulPrefetch + s.UselessPrefetx
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.UsefulPrefetch) / float64(tot)
+}
+
+// EvictKind tells the hierarchy what was displaced by a fill.
+type EvictKind uint8
+
+const (
+	// EvictNone means the fill landed in an invalid way.
+	EvictNone EvictKind = iota
+	// EvictClean means a valid line was displaced.
+	EvictClean
+)
+
+// Eviction describes a displaced line.
+type Eviction struct {
+	Kind       EvictKind
+	Line       mem.Addr
+	Prefetched bool // was a prefetch
+	Used       bool // was demand-touched since fill
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg      Config
+	sets     []line // Sets*Ways, row-major
+	setMask  uint64
+	stamp    uint64
+	statsOn  bool
+	stats    Stats
+	inflight map[mem.Addr]uint64 // line -> completion cycle of outstanding misses
+
+	// PrefetchOutcome, when non-nil, is invoked the moment a prefetched
+	// line's fate is decided: useful (first demand hit after the
+	// prefetch fill) or useless (evicted or invalidated untouched).
+	// Feedback-driven prefetchers learn from this; it fires regardless
+	// of whether statistics are enabled.
+	PrefetchOutcome func(line mem.Addr, useful bool)
+}
+
+// New constructs a cache; it panics on invalid configuration (a
+// programming error in the caller, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     make([]line, cfg.Sets*cfg.Ways),
+		setMask:  uint64(cfg.Sets - 1),
+		inflight: make(map[mem.Addr]uint64, cfg.MSHRs*2),
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// EnableStats switches demand/prefetch accounting on or off (off during
+// warm-up).
+func (c *Cache) EnableStats(on bool) { c.statsOn = on }
+
+// ResetStats zeroes the counters (end of warm-up).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) setOf(a mem.Addr) []line {
+	idx := (a.LineID() & c.setMask) * uint64(c.cfg.Ways)
+	return c.sets[idx : idx+uint64(c.cfg.Ways)]
+}
+
+// Lookup probes for a line at the given cycle.
+//
+// On a hit it returns (true, readyCycle): the cycle at which the data is
+// available (max of now+latency and the line's fill-completion time — a
+// hit under a still-in-flight fill pays the residual). The LRU stamp is
+// updated and, for demand lookups, prefetch-usefulness accounting runs.
+//
+// On a miss it returns (false, 0).
+func (c *Cache) Lookup(a mem.Addr, now uint64, demand bool) (bool, uint64) {
+	a = a.Line()
+	set := c.setOf(a)
+	c.stamp++
+	if demand && c.statsOn {
+		c.stats.DemandAccesses++
+	}
+	for i := range set {
+		l := &set[i]
+		if !l.valid || l.tag != a {
+			continue
+		}
+		l.lru = c.stamp
+		l.rrpv = 0 // SRRIP: near re-reference on hit
+		ready := now + c.cfg.Latency
+		if l.ready > ready {
+			ready = l.ready
+			if demand && l.prefetched && !l.used && c.statsOn {
+				c.stats.LatePrefetch++
+			}
+		}
+		if demand {
+			if l.prefetched && !l.used {
+				if c.statsOn {
+					c.stats.UsefulPrefetch++
+				}
+				l.used = true
+				if c.PrefetchOutcome != nil {
+					c.PrefetchOutcome(a, true)
+				}
+			}
+			if c.statsOn {
+				c.stats.DemandHits++
+			}
+		}
+		return true, ready
+	}
+	if demand && c.statsOn {
+		c.stats.DemandMisses++
+	}
+	return false, 0
+}
+
+// Contains reports whether the line is present, without touching LRU or
+// statistics (used by back-invalidation and tests).
+func (c *Cache) Contains(a mem.Addr) bool {
+	a = a.Line()
+	set := c.setOf(a)
+	for i := range set {
+		if set[i].valid && set[i].tag == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts a line completing at readyCycle. prefetched marks
+// prefetch fills for pollution accounting. It returns the eviction the
+// fill caused, if any. Filling a line that is already present only
+// refreshes its ready time (fills can race when a prefetch and a demand
+// miss overlap).
+func (c *Cache) Fill(a mem.Addr, readyCycle uint64, prefetched bool) Eviction {
+	a = a.Line()
+	set := c.setOf(a)
+	c.stamp++
+	if prefetched && c.statsOn {
+		c.stats.PrefetchFills++
+	}
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == a {
+			if readyCycle < l.ready {
+				l.ready = readyCycle
+			}
+			return Eviction{}
+		}
+	}
+	victim := c.victimIn(set)
+	ev := Eviction{}
+	v := &set[victim]
+	if v.valid {
+		ev = Eviction{Kind: EvictClean, Line: v.tag, Prefetched: v.prefetched, Used: v.used}
+		if v.prefetched && !v.used {
+			if c.statsOn {
+				c.stats.UselessPrefetx++
+			}
+			if c.PrefetchOutcome != nil {
+				c.PrefetchOutcome(v.tag, false)
+			}
+		}
+	}
+	*v = line{tag: a, valid: true, lru: c.stamp, rrpv: 2, ready: readyCycle, prefetched: prefetched}
+	return ev
+}
+
+// victimIn selects the replacement victim for a set under the
+// configured policy.
+func (c *Cache) victimIn(set []line) int {
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	if c.cfg.Policy == SRRIP {
+		for {
+			for i := range set {
+				if set[i].rrpv >= 3 {
+					return i
+				}
+			}
+			for i := range set {
+				set[i].rrpv++
+			}
+		}
+	}
+	victim := 0
+	oldest := ^uint64(0)
+	for i := range set {
+		if set[i].lru < oldest {
+			oldest = set[i].lru
+			victim = i
+		}
+	}
+	return victim
+}
+
+// Invalidate removes a line (inclusive-hierarchy back-invalidation). It
+// reports whether the line was present; an untouched prefetched line
+// counts as a useless prefetch.
+func (c *Cache) Invalidate(a mem.Addr) bool {
+	a = a.Line()
+	set := c.setOf(a)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == a {
+			if l.prefetched && !l.used {
+				if c.statsOn {
+					c.stats.UselessPrefetx++
+				}
+				if c.PrefetchOutcome != nil {
+					c.PrefetchOutcome(a, false)
+				}
+			}
+			l.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// --- MSHR model ---
+//
+// Outstanding misses occupy MSHR entries until their completion cycle.
+// A demand miss may always take the last entry; prefetches must leave at
+// least one entry free (paper §IV-B: "at least one MSHR is remained for
+// normal load/store requests").
+
+func (c *Cache) pruneMSHR(now uint64) int {
+	busy := 0
+	for l, done := range c.inflight {
+		if done <= now {
+			delete(c.inflight, l)
+		} else {
+			busy++
+		}
+	}
+	return busy
+}
+
+// MSHRBusy returns the number of occupied MSHR entries at `now`.
+func (c *Cache) MSHRBusy(now uint64) int { return c.pruneMSHR(now) }
+
+// InFlight reports whether a miss for the line is already outstanding
+// and, if so, its completion cycle (requests merge onto it).
+func (c *Cache) InFlight(a mem.Addr, now uint64) (uint64, bool) {
+	done, ok := c.inflight[a.Line()]
+	if !ok || done <= now {
+		return 0, false
+	}
+	return done, true
+}
+
+// ReserveMSHR allocates an MSHR entry completing at `done` for the line.
+// Demand requests may use every entry; prefetches must leave one free.
+// Reserving a line that already holds an entry updates its completion
+// time without consuming a new slot (the demand path reserves a
+// placeholder before the hierarchy walk computes the real latency).
+// It reports whether the allocation succeeded.
+func (c *Cache) ReserveMSHR(a mem.Addr, now, done uint64, demand bool) bool {
+	line := a.Line()
+	if _, held := c.inflight[line]; held {
+		c.inflight[line] = done
+		return true
+	}
+	busy := c.pruneMSHR(now)
+	limit := c.cfg.MSHRs
+	if !demand {
+		limit--
+	}
+	if busy >= limit {
+		return false
+	}
+	c.inflight[line] = done
+	return true
+}
+
+// EarliestCompletion returns the soonest completion cycle among
+// outstanding misses strictly after `now`, or false when none are in
+// flight. The simulator uses it to model a demand request stalling on a
+// full MSHR file.
+func (c *Cache) EarliestCompletion(now uint64) (uint64, bool) {
+	best := ^uint64(0)
+	found := false
+	for _, done := range c.inflight {
+		if done > now && done < best {
+			best = done
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Flush invalidates every line and clears in-flight state (used between
+// runs that share a cache object).
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		c.sets[i] = line{}
+	}
+	clear(c.inflight)
+	c.stamp = 0
+}

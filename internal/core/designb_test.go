@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"pmp/internal/prefetch"
+)
+
+func TestDesignBConfigValidate(t *testing.T) {
+	if err := DefaultDesignBConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	c := DefaultDesignBConfig()
+	c.Ways = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero ways should be invalid")
+	}
+	c = DefaultDesignBConfig()
+	c.L2Threshold = 99
+	if err := c.Validate(); err == nil {
+		t.Error("inverted thresholds should be invalid")
+	}
+	c = DefaultDesignBConfig()
+	c.RegionBytes = 100
+	if err := c.Validate(); err == nil {
+		t.Error("bad region should be invalid")
+	}
+}
+
+func TestDesignBLearnsIdenticalPatterns(t *testing.T) {
+	cfg := DefaultDesignBConfig()
+	cfg.L1Threshold = 4
+	cfg.L2Threshold = 2
+	d := NewDesignB(cfg)
+	teach(d, 0x400, 0, 10, []int{0, 1, 2})
+	train(d, 0x400, regionAddr(1000, 0))
+	reqs := d.Issue(64)
+	if len(reqs) != 2 {
+		t.Fatalf("issued %d, want 2", len(reqs))
+	}
+	for _, r := range reqs {
+		if r.Level != prefetch.LevelL1 {
+			t.Errorf("level = %v, want L1D above threshold", r.Level)
+		}
+	}
+}
+
+func TestDesignBColdStart(t *testing.T) {
+	cfg := DefaultDesignBConfig()
+	cfg.L1Threshold = 16
+	cfg.L2Threshold = 5
+	d := NewDesignB(cfg)
+	teach(d, 0x400, 0, 2, []int{0, 1}) // counter = 2 < L2 threshold
+	train(d, 0x400, regionAddr(1000, 0))
+	if reqs := d.Issue(64); len(reqs) != 0 {
+		t.Errorf("below-threshold pattern prefetched: %v", reqs)
+	}
+}
+
+// Design B's weakness (paper §V-E1): non-identical patterns thrash the
+// set. With 1 way, alternating patterns never accumulate a counter.
+func TestDesignBThrashing(t *testing.T) {
+	cfg := DefaultDesignBConfig()
+	cfg.Ways = 1
+	cfg.L1Threshold = 4
+	cfg.L2Threshold = 2
+	d := NewDesignB(cfg)
+	// Alternate two different patterns with the same trigger offset.
+	for r := 0; r < 40; r++ {
+		offs := []int{0, 1}
+		if r%2 == 1 {
+			offs = []int{0, 2}
+		}
+		teach(d, 0x400, uint64(r*2+1), 1, offs)
+	}
+	train(d, 0x400, regionAddr(9000, 0))
+	if reqs := d.Issue(64); len(reqs) != 0 {
+		t.Errorf("1-way Design B should thrash, issued %v", reqs)
+	}
+	// With more ways, both patterns persist and one reaches threshold.
+	cfg.Ways = 8
+	d = NewDesignB(cfg)
+	for r := 0; r < 40; r++ {
+		offs := []int{0, 1}
+		if r%2 == 1 {
+			offs = []int{0, 2}
+		}
+		teach(d, 0x400, uint64(r*2+1), 1, offs)
+	}
+	train(d, 0x400, regionAddr(9000, 0))
+	if reqs := d.Issue(64); len(reqs) == 0 {
+		t.Error("8-way Design B should retain patterns")
+	}
+}
+
+func TestDesignBName(t *testing.T) {
+	if got := NewDesignB(DefaultDesignBConfig()).Name(); got != "designb-8w" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestDesignBStorageGrowsWithWays(t *testing.T) {
+	small := DefaultDesignBConfig()
+	big := DefaultDesignBConfig()
+	big.Ways = 512
+	sb := NewDesignB(small).StorageBits()
+	bb := NewDesignB(big).StorageBits()
+	if bb <= sb {
+		t.Errorf("512-way (%d bits) should dwarf 8-way (%d bits)", bb, sb)
+	}
+}
+
+func TestDesignBOnFillIgnored(t *testing.T) {
+	d := NewDesignB(DefaultDesignBConfig())
+	d.OnFill(0, prefetch.LevelL1, false) // must not panic
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"pmp/internal/mem"
+	"pmp/internal/prefetch"
+)
+
+// extractor converts a triggered counter vector into an anchored
+// prefetch pattern: one target level per anchored offset. Index 0 (the
+// trigger itself) is always LevelNone — "the trigger offset itself will
+// never be prefetched" (paper §IV-B).
+type extractor struct {
+	scheme Scheme
+	tl1d   float64
+	tl2c   float64
+	anel1  uint32
+	anel2  uint32
+}
+
+func newExtractor(c Config) extractor {
+	return extractor{
+		scheme: c.Scheme,
+		tl1d:   c.TL1D,
+		tl2c:   c.TL2C,
+		anel1:  c.ANEL1,
+		anel2:  c.ANEL2,
+	}
+}
+
+// Extract fills dst (len == cv.Len()) with the per-offset target level.
+func (e extractor) Extract(cv *mem.CounterVector, dst []prefetch.Level) {
+	for i := range dst {
+		dst[i] = prefetch.LevelNone
+	}
+	switch e.scheme {
+	case ANE:
+		e.extractANE(cv, dst)
+	case ARE:
+		e.extractARE(cv, dst)
+	default:
+		e.extractAFE(cv, dst)
+	}
+}
+
+// extractAFE selects offsets whose access frequency (counter/time)
+// clears a threshold: >= TL1D goes to L1D, else >= TL2C goes to L2C.
+func (e extractor) extractAFE(cv *mem.CounterVector, dst []prefetch.Level) {
+	t := cv.Time()
+	if t == 0 {
+		return
+	}
+	ft := float64(t)
+	for i := 1; i < cv.Len(); i++ {
+		f := float64(cv.At(i)) / ft
+		switch {
+		case f >= e.tl1d:
+			dst[i] = prefetch.LevelL1
+		case f >= e.tl2c:
+			dst[i] = prefetch.LevelL2
+		}
+	}
+}
+
+// extractANE selects offsets whose raw counter clears an absolute
+// threshold.
+func (e extractor) extractANE(cv *mem.CounterVector, dst []prefetch.Level) {
+	for i := 1; i < cv.Len(); i++ {
+		c := cv.At(i)
+		switch {
+		case c >= e.anel1:
+			dst[i] = prefetch.LevelL1
+		case c >= e.anel2:
+			dst[i] = prefetch.LevelL2
+		}
+	}
+}
+
+// extractARE selects offsets whose share of the non-trigger counter sum
+// clears a threshold. As the paper notes, this implicitly caps the
+// prefetch depth at 1/threshold.
+func (e extractor) extractARE(cv *mem.CounterVector, dst []prefetch.Level) {
+	sum := cv.Sum()
+	if sum == 0 {
+		return
+	}
+	fs := float64(sum)
+	for i := 1; i < cv.Len(); i++ {
+		r := float64(cv.At(i)) / fs
+		switch {
+		case r >= e.tl1d:
+			dst[i] = prefetch.LevelL1
+		case r >= e.tl2c:
+			dst[i] = prefetch.LevelL2
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"pmp/internal/mem"
+	"pmp/internal/prefetch"
+)
+
+// pbEntry holds one arbitrated prefetch pattern awaiting issue, keyed by
+// region (paper Fig 6c bottom).
+type pbEntry struct {
+	valid   bool
+	region  uint64
+	trigger int              // trigger line offset, to unanchor targets
+	levels  []prefetch.Level // anchored target levels; index 0 unused
+	issued  []bool           // per anchored index
+	pending int              // cached count of unissued targets
+	lru     uint64
+}
+
+// prefetchBuffer is PMP's Prefetch Buffer: a small fully-associative
+// LRU store of final prefetch patterns. Prefetches drain nearest-first
+// relative to the trigger line; when the prefetch queue fills, draining
+// resumes on the next access to the region (the entry is bumped MRU by
+// Touch).
+type prefetchBuffer struct {
+	entries []pbEntry
+	region  mem.Region
+	// order lists anchored indices nearest-first: 1, n-1, 2, n-2, ...
+	// (anchored index k targets line (trigger+k) mod n, so small k is
+	// just ahead of the trigger and n-k just behind).
+	order []int
+	stamp uint64
+	// crossRegion projects wrapping targets into the next region
+	// (extension; see core.Config.CrossRegion).
+	crossRegion bool
+}
+
+func newPrefetchBuffer(entries int, region mem.Region) *prefetchBuffer {
+	n := region.Lines()
+	order := make([]int, 0, n-1)
+	for d := 1; d <= n/2; d++ {
+		order = append(order, d)
+		if other := n - d; other != d {
+			order = append(order, other)
+		}
+	}
+	pb := &prefetchBuffer{
+		entries: make([]pbEntry, entries),
+		region:  region,
+		order:   order,
+	}
+	for i := range pb.entries {
+		pb.entries[i].levels = make([]prefetch.Level, n)
+		pb.entries[i].issued = make([]bool, n)
+	}
+	return pb
+}
+
+// Insert stores a freshly arbitrated pattern for the region, replacing
+// an existing entry for the same region or the LRU victim.
+func (pb *prefetchBuffer) Insert(region uint64, trigger int, levels []prefetch.Level) {
+	pb.stamp++
+	victim := 0
+	oldest := ^uint64(0)
+	for i := range pb.entries {
+		e := &pb.entries[i]
+		if e.valid && e.region == region {
+			victim = i
+			break
+		}
+		if !e.valid {
+			if oldest != 0 {
+				victim = i
+				oldest = 0
+			}
+			continue
+		}
+		if e.lru < oldest {
+			oldest, victim = e.lru, i
+		}
+	}
+	e := &pb.entries[victim]
+	e.valid = true
+	e.region = region
+	e.trigger = trigger
+	e.lru = pb.stamp
+	copy(e.levels, levels)
+	e.pending = 0
+	for i := range e.issued {
+		e.issued[i] = false
+		if i > 0 && e.levels[i] != prefetch.LevelNone {
+			e.pending++
+		}
+	}
+}
+
+// Touch bumps the region's entry to MRU so draining resumes there. It
+// reports whether the region was present.
+func (pb *prefetchBuffer) Touch(region uint64) bool {
+	for i := range pb.entries {
+		e := &pb.entries[i]
+		if e.valid && e.region == region {
+			pb.stamp++
+			e.lru = pb.stamp
+			return true
+		}
+	}
+	return false
+}
+
+// Drain emits up to max requests, MRU entry first, nearest offsets
+// first within an entry.
+func (pb *prefetchBuffer) Drain(max int) []prefetch.Request {
+	if max <= 0 {
+		return nil
+	}
+	var out []prefetch.Request
+	for len(out) < max {
+		e := pb.mruPending()
+		if e == nil {
+			break
+		}
+		for _, k := range pb.order {
+			if len(out) >= max {
+				break
+			}
+			if e.issued[k] || e.levels[k] == prefetch.LevelNone {
+				continue
+			}
+			e.issued[k] = true
+			e.pending--
+			n := pb.region.Lines()
+			regionID := e.region
+			raw := e.trigger + k
+			if raw >= n && pb.crossRegion {
+				regionID++ // project forward instead of wrapping back
+			}
+			out = append(out, prefetch.Request{
+				Addr:  pb.region.LineAddr(regionID, raw%n),
+				Level: e.levels[k],
+			})
+		}
+		// Fully drained entries stay resident: the system may hand
+		// requests back via Requeue when MSHRs are full, and draining
+		// resumes on the next access to the region.
+	}
+	return out
+}
+
+// Requeue re-arms the target at (region, offset) so a later Drain
+// re-issues it. Unknown regions (entry since replaced) are dropped.
+// With cross-region projection a target may live in the entry of the
+// preceding region.
+func (pb *prefetchBuffer) Requeue(region uint64, offset int) {
+	if pb.requeueIn(region, region, offset) {
+		return
+	}
+	if pb.crossRegion && region > 0 {
+		pb.requeueIn(region-1, region, offset)
+	}
+}
+
+// requeueIn re-arms the target of `entryRegion` whose projected address
+// lands at (targetRegion, offset). It reports whether the entry exists.
+func (pb *prefetchBuffer) requeueIn(entryRegion, targetRegion uint64, offset int) bool {
+	for i := range pb.entries {
+		e := &pb.entries[i]
+		if !e.valid || e.region != entryRegion {
+			continue
+		}
+		n := pb.region.Lines()
+		raw := offset - e.trigger
+		if targetRegion == entryRegion+1 {
+			raw += n
+		} else if raw < 0 {
+			raw += n
+		}
+		if raw > 0 && raw < n && e.levels[raw] != prefetch.LevelNone && e.issued[raw] {
+			e.issued[raw] = false
+			e.pending++
+		}
+		return true
+	}
+	return false
+}
+
+func (pb *prefetchBuffer) mruPending() *pbEntry {
+	var best *pbEntry
+	var bestLRU uint64
+	for i := range pb.entries {
+		e := &pb.entries[i]
+		if !e.valid || e.pending == 0 {
+			continue
+		}
+		if best == nil || e.lru > bestLRU {
+			best, bestLRU = e, e.lru
+		}
+	}
+	return best
+}

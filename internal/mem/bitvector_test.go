@@ -1,0 +1,183 @@
+package mem
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitVectorBasics(t *testing.T) {
+	v := NewBitVector(8)
+	if !v.Empty() || v.Len() != 8 {
+		t.Fatalf("fresh vector not empty or wrong length: %v", v)
+	}
+	v.Set(0)
+	v.Set(2)
+	v.Set(3)
+	if got := v.String(); got != "10110000" {
+		t.Errorf("String() = %q, want 10110000", got)
+	}
+	if v.PopCount() != 3 {
+		t.Errorf("PopCount() = %d, want 3", v.PopCount())
+	}
+	if !v.Test(2) || v.Test(1) {
+		t.Error("Test gave wrong membership")
+	}
+	v.Clear(2)
+	if v.Test(2) {
+		t.Error("Clear(2) did not clear")
+	}
+	if got := v.Offsets(); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("Offsets() = %v, want [0 3]", got)
+	}
+}
+
+// The paper's Fig 6a example: bit vector (0,1,1,0,1,0,0,0) with trigger
+// offset 2 anchors to (1,0,1,0,0,0,0,1).
+func TestAnchorPaperExample(t *testing.T) {
+	v := BitVectorOf(8, 1, 2, 4)
+	anchored := v.Anchor(2)
+	want := BitVectorOf(8, 0, 2, 7)
+	if anchored != want {
+		t.Errorf("Anchor(2) = %v, want %v", anchored, want)
+	}
+}
+
+func TestAnchorUnanchorRoundTrip(t *testing.T) {
+	f := func(raw uint64, trig uint8, lenSel uint8) bool {
+		lengths := []int{8, 16, 32, 64}
+		n := lengths[int(lenSel)%len(lengths)]
+		v := BitVector{bits: raw & (1<<uint(n) - 1), n: n}
+		if n == 64 {
+			v.bits = raw
+		}
+		tr := int(trig) % n
+		return v.Anchor(tr).Unanchor(tr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: anchoring always moves the trigger bit to position 0 and
+// preserves population count.
+func TestAnchorInvariants(t *testing.T) {
+	f := func(raw uint64, trig uint8) bool {
+		n := 64
+		v := BitVector{bits: raw, n: n}
+		tr := int(trig) % n
+		v.Set(tr)
+		a := v.Anchor(tr)
+		return a.Test(0) && a.PopCount() == v.PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateLeft64Path(t *testing.T) {
+	v := BitVector{bits: 1, n: 64}
+	r := v.RotateLeft(1) // left-circular shift: bit 1 -> position 0? No: offset o moves to o-1
+	if !r.Test(63) {
+		t.Errorf("RotateLeft(1) of bit0 should wrap to 63, got %v", r.Offsets())
+	}
+	// Check the semantic matches the <64 path.
+	v8 := BitVectorOf(8, 0)
+	r8 := v8.RotateLeft(1)
+	if !r8.Test(7) {
+		t.Errorf("8-bit RotateLeft(1) of bit0 should be bit7, got %v", r8.Offsets())
+	}
+	v64 := BitVector{bits: 1 << 5, n: 64}
+	if got := v64.RotateLeft(5); !got.Test(0) || got.PopCount() != 1 {
+		t.Errorf("64-bit RotateLeft(5) wrong: %v", got.Offsets())
+	}
+}
+
+func TestOrAnd(t *testing.T) {
+	a := BitVectorOf(4, 0, 2, 3) // 1011 in paper order
+	b := BitVectorOf(4, 0, 1)
+	if got := a.Or(b); got != BitVectorOf(4, 0, 1, 2, 3) {
+		t.Errorf("Or = %v", got)
+	}
+	if got := a.And(b); got != BitVectorOf(4, 0) {
+		t.Errorf("And = %v", got)
+	}
+}
+
+// The paper's Fig 6d example: 8-bit vector 10100001 folds (group 2) to 1101.
+func TestFoldPaperExample(t *testing.T) {
+	v := BitVectorOf(8, 0, 2, 7)
+	got := v.Fold(2)
+	want := BitVectorOf(4, 0, 1, 3)
+	if got != want {
+		t.Errorf("Fold(2) = %v, want %v", got, want)
+	}
+}
+
+func TestFoldGroup1Identity(t *testing.T) {
+	v := BitVectorOf(8, 1, 5)
+	if v.Fold(1) != v {
+		t.Error("Fold(1) should be identity")
+	}
+}
+
+// Property: a folded bit is set iff at least one source bit in its group
+// is set, and popcount never increases.
+func TestFoldInvariants(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := BitVector{bits: raw, n: 64}
+		for _, g := range []int{2, 4, 8} {
+			fv := v.Fold(g)
+			if fv.Len() != 64/g {
+				return false
+			}
+			if fv.PopCount() > v.PopCount() {
+				return false
+			}
+			for i := 0; i < fv.Len(); i++ {
+				any := false
+				for j := 0; j < g; j++ {
+					if v.Test(i*g + j) {
+						any = true
+					}
+				}
+				if fv.Test(i) != any {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitVectorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	v := NewBitVector(8)
+	mustPanic("NewBitVector(0)", func() { NewBitVector(0) })
+	mustPanic("NewBitVector(65)", func() { NewBitVector(65) })
+	mustPanic("Set(-1)", func() { v.Set(-1) })
+	mustPanic("Set(8)", func() { v.Set(8) })
+	mustPanic("Fold(3)", func() { v.Fold(3) })
+	mustPanic("length mismatch", func() { v.Or(NewBitVector(4)) })
+}
+
+func TestPopCountMatchesStdlib(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := BitVector{bits: raw, n: 64}
+		return v.PopCount() == bits.OnesCount64(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package mem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CounterVector is PMP's merged-pattern representation: one saturating
+// counter per (anchored) line offset. Element 0 corresponds to the
+// trigger offset itself and is the Time Counter — it increments on every
+// merge, so counter[i]/counter[0] is the access frequency of offset i
+// over the last observation window (paper §IV-A).
+//
+// When the time counter saturates at its maximum, every element is
+// halved. This ages out stale history while (almost) preserving the
+// frequencies the AFE extraction scheme reads.
+type CounterVector struct {
+	c    []uint32
+	max  uint32 // saturation value, (1<<bits)-1
+	bits int    // counter width in bits (for storage accounting)
+}
+
+// NewCounterVector returns a zeroed vector of `length` counters that are
+// `bits` wide (bits in [1, 31]).
+func NewCounterVector(length, bits int) *CounterVector {
+	if length < 1 || length > 64 {
+		panic("mem: counter vector length must be in [1, 64]")
+	}
+	if bits < 1 || bits > 31 {
+		panic("mem: counter bits must be in [1, 31]")
+	}
+	return &CounterVector{
+		c:    make([]uint32, length),
+		max:  1<<uint(bits) - 1,
+		bits: bits,
+	}
+}
+
+// Len returns the number of counters.
+func (cv *CounterVector) Len() int { return len(cv.c) }
+
+// Bits returns the per-counter width in bits.
+func (cv *CounterVector) Bits() int { return cv.bits }
+
+// Max returns the saturation value of each counter.
+func (cv *CounterVector) Max() uint32 { return cv.max }
+
+// At returns counter i.
+func (cv *CounterVector) At(i int) uint32 { return cv.c[i] }
+
+// Time returns the time counter (element 0).
+func (cv *CounterVector) Time() uint32 { return cv.c[0] }
+
+// Merge accumulates an *anchored* bit-vector pattern into the vector:
+// every set offset's counter is incremented (saturating). The pattern
+// must have been anchored so bit 0 is the trigger offset; merging a
+// pattern whose bit 0 is clear is rejected in order to catch missed
+// anchoring at the call site.
+//
+// If the time counter saturates, the whole vector is halved after the
+// merge and Merge reports halved=true.
+func (cv *CounterVector) Merge(p BitVector) (halved bool) {
+	if p.Len() != len(cv.c) {
+		panic("mem: pattern length does not match counter vector")
+	}
+	if !p.Test(0) {
+		panic("mem: merging unanchored pattern (trigger bit clear)")
+	}
+	b := p.Bits()
+	for i := range cv.c {
+		if b&(1<<uint(i)) != 0 && cv.c[i] < cv.max {
+			cv.c[i]++
+		}
+	}
+	if cv.c[0] >= cv.max {
+		cv.Halve()
+		return true
+	}
+	return false
+}
+
+// MergeNoHalve accumulates a pattern like Merge but never halves: when
+// the time counter saturates, counters simply freeze at their ceiling.
+// This exists for the halving-mechanism ablation; frozen vectors stop
+// adapting to phase changes.
+func (cv *CounterVector) MergeNoHalve(p BitVector) {
+	if p.Len() != len(cv.c) {
+		panic("mem: pattern length does not match counter vector")
+	}
+	if !p.Test(0) {
+		panic("mem: merging unanchored pattern (trigger bit clear)")
+	}
+	b := p.Bits()
+	for i := range cv.c {
+		if b&(1<<uint(i)) != 0 && cv.c[i] < cv.max {
+			cv.c[i]++
+		}
+	}
+}
+
+// Halve divides every counter by two (floor). Frequencies
+// counter[i]/time are preserved up to integer truncation.
+func (cv *CounterVector) Halve() {
+	for i := range cv.c {
+		cv.c[i] >>= 1
+	}
+}
+
+// Reset zeroes all counters.
+func (cv *CounterVector) Reset() {
+	for i := range cv.c {
+		cv.c[i] = 0
+	}
+}
+
+// Frequency returns counter[i]/time as a float in [0, +inf); it returns
+// 0 when the vector has never been trained (time == 0). The trigger
+// element (i == 0) always has frequency 1 once trained.
+func (cv *CounterVector) Frequency(i int) float64 {
+	t := cv.c[0]
+	if t == 0 {
+		return 0
+	}
+	return float64(cv.c[i]) / float64(t)
+}
+
+// Sum returns the sum of all counters excluding the trigger element,
+// used by the ARE extraction scheme.
+func (cv *CounterVector) Sum() uint64 {
+	var s uint64
+	for _, v := range cv.c[1:] {
+		s += uint64(v)
+	}
+	return s
+}
+
+// Snapshot returns a copy of the raw counters (for tests and analysis).
+func (cv *CounterVector) Snapshot() []uint32 {
+	out := make([]uint32, len(cv.c))
+	copy(out, cv.c)
+	return out
+}
+
+// StorageBits returns the hardware cost of the vector in bits.
+func (cv *CounterVector) StorageBits() int { return len(cv.c) * cv.bits }
+
+// String renders the counters like the paper's examples: "(4, 0, 4, 0)".
+func (cv *CounterVector) String() string {
+	parts := make([]string, len(cv.c))
+	for i, v := range cv.c {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,188 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The paper's Fig 6a example: merging anchored (1,0,1,0,0,0,0,1) into
+// counter vector (3,0,3,0,3,0,0,0) yields (4,0,4,0,3,0,0,1).
+func TestMergePaperExample(t *testing.T) {
+	cv := NewCounterVector(8, 5)
+	cv.c = []uint32{3, 0, 3, 0, 3, 0, 0, 0}
+	p := BitVectorOf(8, 0, 2, 7)
+	if halved := cv.Merge(p); halved {
+		t.Fatal("unexpected halving")
+	}
+	want := []uint32{4, 0, 4, 0, 3, 0, 0, 1}
+	got := cv.Snapshot()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Merge result = %v, want %v", got, want)
+		}
+	}
+}
+
+// The paper's halving example: with time counter max 3,
+// (4,0,4,0,3,0,0,1) saturated is halved to (2,0,2,0,1,0,0,0).
+// With a 2-bit counter, max = 3; merging until time hits max halves.
+func TestHalvingPaperExample(t *testing.T) {
+	cv := NewCounterVector(8, 5)
+	cv.c = []uint32{4, 0, 4, 0, 3, 0, 0, 1}
+	cv.Halve()
+	want := []uint32{2, 0, 2, 0, 1, 0, 0, 0}
+	got := cv.Snapshot()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Halve result = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeSaturationTriggersHalve(t *testing.T) {
+	cv := NewCounterVector(4, 2) // max = 3
+	p := BitVectorOf(4, 0, 1)
+	if cv.Merge(p) {
+		t.Error("first merge should not halve")
+	}
+	if cv.Merge(p) {
+		t.Error("second merge should not halve")
+	}
+	if !cv.Merge(p) {
+		t.Error("third merge should saturate the time counter and halve")
+	}
+	if cv.Time() != 1 { // 3 halved
+		t.Errorf("time after halve = %d, want 1", cv.Time())
+	}
+}
+
+func TestMergeRejectsUnanchored(t *testing.T) {
+	cv := NewCounterVector(8, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("merging pattern with clear trigger bit should panic")
+		}
+	}()
+	cv.Merge(BitVectorOf(8, 1, 2))
+}
+
+func TestFrequency(t *testing.T) {
+	cv := NewCounterVector(4, 5)
+	if cv.Frequency(1) != 0 {
+		t.Error("untrained vector should have zero frequency")
+	}
+	cv.c = []uint32{4, 2, 0, 1}
+	// Paper §IV-B AFE example: frequencies (-, 2/4, 0, 1/4).
+	if got := cv.Frequency(1); got != 0.5 {
+		t.Errorf("Frequency(1) = %v, want 0.5", got)
+	}
+	if got := cv.Frequency(3); got != 0.25 {
+		t.Errorf("Frequency(3) = %v, want 0.25", got)
+	}
+	if got := cv.Frequency(0); got != 1.0 {
+		t.Errorf("Frequency(0) = %v, want 1", got)
+	}
+}
+
+func TestSumExcludesTrigger(t *testing.T) {
+	cv := NewCounterVector(4, 5)
+	cv.c = []uint32{4, 2, 0, 1}
+	if got := cv.Sum(); got != 3 {
+		t.Errorf("Sum() = %d, want 3", got)
+	}
+}
+
+// Property: merging never lets a counter exceed its saturation value and
+// the time counter stays the max element.
+func TestMergeInvariants(t *testing.T) {
+	f := func(patterns []uint16) bool {
+		cv := NewCounterVector(16, 4)
+		for _, raw := range patterns {
+			p := BitVector{bits: uint64(raw) | 1, n: 16} // force anchored
+			cv.Merge(p)
+			for i, c := range cv.Snapshot() {
+				if c > cv.Max() {
+					return false
+				}
+				if uint32(c) > cv.Time() && i != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: halving approximately preserves frequencies — the paper's
+// footnote 1. For counters >= 2 the relative error of freq after a halve
+// is bounded by 1/c + 1/t.
+func TestHalvePreservesFrequencies(t *testing.T) {
+	cv := NewCounterVector(8, 8)
+	cv.c = []uint32{200, 100, 50, 3, 0, 255, 17, 60}
+	before := make([]float64, 8)
+	for i := range before {
+		before[i] = cv.Frequency(i)
+	}
+	cv.Halve()
+	for i := range before {
+		after := cv.Frequency(i)
+		if before[i] == 0 {
+			if after != 0 {
+				t.Errorf("offset %d: zero frequency became %v", i, after)
+			}
+			continue
+		}
+		if math.Abs(after-before[i]) > 0.02 {
+			t.Errorf("offset %d: frequency drifted %v -> %v", i, before[i], after)
+		}
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	// Paper Table III: OPT counter vector is 64 x 5b = 320 bits.
+	cv := NewCounterVector(64, 5)
+	if got := cv.StorageBits(); got != 320 {
+		t.Errorf("StorageBits() = %d, want 320", got)
+	}
+	// PPT coarse vector: 32 x 5b = 160 bits.
+	cv = NewCounterVector(32, 5)
+	if got := cv.StorageBits(); got != 160 {
+		t.Errorf("StorageBits() = %d, want 160", got)
+	}
+}
+
+func TestCounterVectorString(t *testing.T) {
+	cv := NewCounterVector(4, 5)
+	cv.c = []uint32{4, 0, 3, 1}
+	if got := cv.String(); got != "(4, 0, 3, 1)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCounterVectorReset(t *testing.T) {
+	cv := NewCounterVector(4, 5)
+	cv.Merge(BitVectorOf(4, 0, 2))
+	cv.Reset()
+	for i := 0; i < 4; i++ {
+		if cv.At(i) != 0 {
+			t.Fatalf("Reset left counter %d = %d", i, cv.At(i))
+		}
+	}
+}
+
+func TestCounterVectorConstructorPanics(t *testing.T) {
+	for _, tc := range []struct{ n, b int }{{0, 5}, {65, 5}, {8, 0}, {8, 32}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCounterVector(%d,%d) did not panic", tc.n, tc.b)
+				}
+			}()
+			NewCounterVector(tc.n, tc.b)
+		}()
+	}
+}

@@ -1,0 +1,64 @@
+package mem
+
+import "testing"
+
+// FuzzBitVectorOps cross-checks the rotate/fold/anchor algebra on
+// arbitrary inputs.
+func FuzzBitVectorOps(f *testing.F) {
+	f.Add(uint64(0b1011), 2, 8)
+	f.Add(^uint64(0), 63, 64)
+	f.Add(uint64(1), 0, 16)
+
+	f.Fuzz(func(t *testing.T, raw uint64, k int, nSel int) {
+		lengths := []int{8, 16, 32, 64}
+		n := lengths[abs(nSel)%len(lengths)]
+		v := BitVector{bits: raw & mask(n), n: n}
+		trig := abs(k) % n
+
+		// Rotation preserves population count and composes to identity.
+		r := v.RotateLeft(trig)
+		if r.PopCount() != v.PopCount() {
+			t.Fatalf("rotate changed popcount: %d -> %d", v.PopCount(), r.PopCount())
+		}
+		if r.RotateLeft(-trig) != v {
+			t.Fatal("rotate does not invert")
+		}
+		// Rotating by the length is the identity.
+		if v.RotateLeft(n) != v {
+			t.Fatal("full rotation is not identity")
+		}
+		// Anchoring a vector with the trigger set puts bit 0 on.
+		v.Set(trig)
+		if !v.Anchor(trig).Test(0) {
+			t.Fatal("anchor lost the trigger bit")
+		}
+		// Fold(2) halves length and ORs pairs.
+		fv := v.Fold(2)
+		if fv.Len() != n/2 {
+			t.Fatalf("fold length %d, want %d", fv.Len(), n/2)
+		}
+		for i := 0; i < fv.Len(); i++ {
+			want := v.Test(2*i) || v.Test(2*i+1)
+			if fv.Test(i) != want {
+				t.Fatalf("fold bit %d wrong", i)
+			}
+		}
+	})
+}
+
+func mask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+func abs(v int) int {
+	if v < 0 {
+		if v == -v { // MinInt
+			return 0
+		}
+		return -v
+	}
+	return v
+}

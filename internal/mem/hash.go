@@ -1,0 +1,31 @@
+package mem
+
+// FoldXOR reduces a 64-bit value to `bits` bits by XOR-folding
+// successive bit groups. This is the standard cheap hardware hash used
+// by prefetchers to index small tables (the paper's "hashed PC" is a
+// 5-bit folded PC).
+func FoldXOR(v uint64, bits int) uint64 {
+	if bits <= 0 || bits >= 64 {
+		return v
+	}
+	mask := uint64(1)<<uint(bits) - 1
+	var out uint64
+	for v != 0 {
+		out ^= v & mask
+		v >>= uint(bits)
+	}
+	return out
+}
+
+// HashPC returns the `bits`-bit hashed PC feature.
+func HashPC(pc uint64, bits int) uint64 { return FoldXOR(pc, bits) }
+
+// Mix64 is a strong 64-bit finalizer (splitmix64) used where the
+// software needs well-distributed hashes — e.g. bucketing patterns for
+// the analysis tooling — rather than a hardware-plausible fold.
+func Mix64(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ v>>30) * 0xbf58476d1ce4e5b9
+	v = (v ^ v>>27) * 0x94d049bb133111eb
+	return v ^ v>>31
+}

@@ -1,0 +1,62 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFoldXORRange(t *testing.T) {
+	f := func(v uint64) bool {
+		for _, b := range []int{1, 5, 6, 12, 16} {
+			if FoldXOR(v, b) >= 1<<uint(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldXORIdentityForWideBits(t *testing.T) {
+	if got := FoldXOR(0xdead, 64); got != 0xdead {
+		t.Errorf("FoldXOR(_, 64) = %#x, want identity", got)
+	}
+	if got := FoldXOR(0xdead, 0); got != 0xdead {
+		t.Errorf("FoldXOR(_, 0) = %#x, want identity", got)
+	}
+}
+
+func TestFoldXORKnown(t *testing.T) {
+	// 0b1101_0110 folded to 4 bits: 1101 ^ 0110 = 1011.
+	if got := FoldXOR(0xd6, 4); got != 0xb {
+		t.Errorf("FoldXOR(0xd6, 4) = %#x, want 0xb", got)
+	}
+}
+
+func TestMix64Distributes(t *testing.T) {
+	// Consecutive inputs should land in different low-bit buckets most of
+	// the time; a weak mixer would alias heavily.
+	buckets := map[uint64]int{}
+	for i := uint64(0); i < 1024; i++ {
+		buckets[Mix64(i)&63]++
+	}
+	if len(buckets) < 60 {
+		t.Errorf("Mix64 uses only %d/64 buckets over consecutive inputs", len(buckets))
+	}
+	for b, n := range buckets {
+		if n > 48 { // expectation 16, allow generous skew
+			t.Errorf("bucket %d grossly overloaded: %d", b, n)
+		}
+	}
+}
+
+func TestHashPCStable(t *testing.T) {
+	if HashPC(0x400123, 5) != HashPC(0x400123, 5) {
+		t.Error("HashPC not deterministic")
+	}
+	if HashPC(0x400123, 5) >= 32 {
+		t.Error("HashPC out of range")
+	}
+}

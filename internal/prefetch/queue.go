@@ -1,0 +1,61 @@
+package prefetch
+
+import "pmp/internal/mem"
+
+// OutQueue is a small FIFO of pending prefetch requests with duplicate
+// suppression, shared by prefetcher implementations: generated targets
+// are pushed once and drained by Issue in order.
+type OutQueue struct {
+	q       []Request
+	pending map[mem.Addr]struct{}
+	cap     int
+}
+
+// NewOutQueue returns a queue bounded at capacity requests. When full,
+// Push drops the new request (matching hardware PQ behaviour, where the
+// prefetcher simply stalls generation).
+func NewOutQueue(capacity int) *OutQueue {
+	return &OutQueue{
+		pending: make(map[mem.Addr]struct{}, capacity),
+		cap:     capacity,
+	}
+}
+
+// Len returns the number of queued requests.
+func (q *OutQueue) Len() int { return len(q.q) }
+
+// Push enqueues a request unless the queue is full or the same line is
+// already pending. It reports whether the request was accepted.
+func (q *OutQueue) Push(r Request) bool {
+	r.Addr = r.Addr.Line()
+	if len(q.q) >= q.cap {
+		return false
+	}
+	if _, dup := q.pending[r.Addr]; dup {
+		return false
+	}
+	q.q = append(q.q, r)
+	q.pending[r.Addr] = struct{}{}
+	return true
+}
+
+// Pop dequeues up to max requests in FIFO order.
+func (q *OutQueue) Pop(max int) []Request {
+	if max <= 0 || len(q.q) == 0 {
+		return nil
+	}
+	n := min(max, len(q.q))
+	out := make([]Request, n)
+	copy(out, q.q[:n])
+	q.q = q.q[:copy(q.q, q.q[n:])]
+	for _, r := range out {
+		delete(q.pending, r.Addr)
+	}
+	return out
+}
+
+// Reset discards all queued requests.
+func (q *OutQueue) Reset() {
+	q.q = q.q[:0]
+	clear(q.pending)
+}

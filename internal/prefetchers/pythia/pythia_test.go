@@ -1,0 +1,124 @@
+package pythia
+
+import (
+	"testing"
+
+	"pmp/internal/mem"
+	"pmp/internal/prefetch"
+)
+
+func pageAddr(page uint64, offset int) mem.Addr {
+	return mem.Addr(page*mem.PageBytes + uint64(offset)*mem.LineBytes)
+}
+
+func TestPythiaAtMostOnePrefetchPerAccess(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		p.Train(prefetch.Access{PC: 0x400, Addr: pageAddr(uint64(i/64), i%64)})
+		if got := p.Issue(8); len(got) > 1 {
+			t.Fatalf("issued %d prefetches for one access, want <= 1", len(got))
+		}
+	}
+}
+
+func TestPythiaLearnsFromReward(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EpsilonInv = 0 // no exploration: pure exploitation for the test
+	p := New(cfg)
+
+	// Reward action +1 massively for one state context; it should
+	// become the greedy choice.
+	a := prefetch.Access{PC: 0x400, Addr: pageAddr(0, 0)}
+	s1, s2 := p.states(a)
+	actIdx := 1 // Actions[1] == +1
+	if p.cfg.Actions[actIdx] != 1 {
+		t.Fatalf("expected action index 1 to be +1, got %d", p.cfg.Actions[actIdx])
+	}
+	for i := 0; i < 500; i++ {
+		p.update(s1, s2, actIdx, p.cfg.RewardAccurate)
+	}
+	best, _ := p.bestAction(s1, s2)
+	if best != actIdx {
+		t.Errorf("greedy action = %d, want %d after reward", best, actIdx)
+	}
+}
+
+func TestPythiaLearnsStreamOnline(t *testing.T) {
+	p := New(DefaultConfig())
+	issued := 0
+	useful := 0
+	// Sequential stream: feed outcomes back; prefetch volume should be
+	// nonzero and mostly accurate by the end.
+	line := uint64(0)
+	for i := 0; i < 30000; i++ {
+		p.Train(prefetch.Access{PC: 0x400, Addr: mem.Addr(line * mem.LineBytes)})
+		for _, r := range p.Issue(8) {
+			issued++
+			// A +delta prefetch on an ascending stream is always useful.
+			isUseful := r.Addr.LineID() > line
+			if isUseful {
+				useful++
+			}
+			p.OnFill(r.Addr, prefetch.LevelL1, isUseful)
+		}
+		line++
+	}
+	if issued == 0 {
+		t.Fatal("Pythia never prefetched on a stream")
+	}
+	if useful*2 < issued {
+		t.Errorf("only %d/%d prefetches useful; RL should find the stream", useful, issued)
+	}
+}
+
+func TestPythiaStaysInPage(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 5000; i++ {
+		p.Train(prefetch.Access{PC: 0x400, Addr: pageAddr(uint64(i), 63)})
+		for _, r := range p.Issue(8) {
+			if r.Addr.PageID() != uint64(i) {
+				t.Fatalf("prefetch escaped the page: %#x from page %d", uint64(r.Addr), i)
+			}
+		}
+	}
+}
+
+func TestPythiaConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Actions[0] != 0 accepted")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Actions = []int{1, 2}
+	New(cfg)
+}
+
+func TestPythiaStateBitsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("StateBits 30 accepted")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.StateBits = 30
+	New(cfg)
+}
+
+func TestPythiaStorageBudget(t *testing.T) {
+	p := New(DefaultConfig())
+	kb := float64(p.StorageBits()) / 8 / 1024
+	// Paper Table V: 25.5KB.
+	if kb < 15 || kb > 35 {
+		t.Errorf("storage = %.1f KB, want near 25.5", kb)
+	}
+}
+
+func TestPythiaInterface(t *testing.T) {
+	var p prefetch.Prefetcher = New(DefaultConfig())
+	if p.Name() != "pythia" {
+		t.Error("wrong name")
+	}
+	p.OnEvict(0)
+	p.OnFill(0, prefetch.LevelL1, true) // unknown line: no-op
+}

@@ -1,0 +1,91 @@
+// Package sim wires the core model, cache hierarchy, DRAM and a
+// prefetcher into a trace-driven system simulator, single-core or
+// multi-core, configured after the paper's Table IV.
+package sim
+
+import (
+	"fmt"
+
+	"pmp/internal/cache"
+	"pmp/internal/cpu"
+	"pmp/internal/dram"
+	"pmp/internal/tlb"
+)
+
+// Config describes a simulated system (one core's private hierarchy
+// plus the shared LLC/DRAM parameters).
+type Config struct {
+	Core cpu.Config
+	L1D  cache.Config
+	L2C  cache.Config
+	LLC  cache.Config
+	DRAM dram.Config
+	TLB  tlb.Config
+
+	// Warmup is the number of instructions simulated before statistics
+	// are reset (the paper uses 50M; scaled runs use less).
+	Warmup uint64
+	// Measure is the number of instructions measured after warm-up;
+	// 0 measures to the end of the trace.
+	Measure uint64
+}
+
+// DefaultConfig returns the paper's Table IV system: 4GHz 4-wide core
+// with a 352-entry ROB, 48KB/12-way L1D (5 cyc), 512KB/8-way L2 (10
+// cyc), 2MB/16-way LLC (20 cyc), one 3200 MT/s DRAM channel.
+func DefaultConfig() Config {
+	return Config{
+		Core: cpu.Config{Width: 4, ROB: 352},
+		L1D:  cache.Config{Name: "L1D", Sets: 64, Ways: 12, Latency: 5, MSHRs: 16, PQSize: 8},
+		L2C:  cache.Config{Name: "L2C", Sets: 1024, Ways: 8, Latency: 10, MSHRs: 32, PQSize: 16},
+		LLC:  cache.Config{Name: "LLC", Sets: 2048, Ways: 16, Latency: 20, MSHRs: 64, PQSize: 32},
+		DRAM: dram.Config{
+			Channels: 1, TransferMTps: 3200, BusBytes: 8,
+			// ~50ns row access + controller at 4GHz.
+			CoreClockMHz: 4000, LatencyCycles: 200,
+		},
+		TLB:    tlb.DefaultConfig(),
+		Warmup: 200_000,
+	}
+}
+
+// WithLLCMB returns the configuration with the LLC resized to the given
+// capacity in MB by scaling sets (the paper's Fig 12b sweep enlarges the
+// LLC "by increasing the number of LLC sets"). MSHRs and PQ scale with
+// capacity as in Table IV (32→128 PQ, 64→256 MSHR for 2→8MB).
+func (c Config) WithLLCMB(mb int) Config {
+	c.LLC.Sets = 2048 * mb / 2
+	c.LLC.MSHRs = 64 * mb / 2
+	c.LLC.PQSize = 32 * mb / 2
+	return c
+}
+
+// WithBandwidth returns the configuration with the DRAM transfer rate
+// set to the given MT/s (Fig 12a sweep).
+func (c Config) WithBandwidth(mtps int) Config {
+	c.DRAM.TransferMTps = mtps
+	return c
+}
+
+// Validate reports the first configuration error found.
+func (c Config) Validate() error {
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	for _, cc := range []cache.Config{c.L1D, c.L2C, c.LLC} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if err := c.TLB.Validate(); err != nil {
+		return err
+	}
+	if c.L1D.SizeBytes() >= c.L2C.SizeBytes() || c.L2C.SizeBytes() >= c.LLC.SizeBytes() {
+		return fmt.Errorf("sim: hierarchy must grow monotonically (%d, %d, %d bytes)",
+			c.L1D.SizeBytes(), c.L2C.SizeBytes(), c.LLC.SizeBytes())
+	}
+	return nil
+}

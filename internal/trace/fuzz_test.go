@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead checks that the trace reader never panics and never
+// round-trips inconsistently on arbitrary input.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid file and near-miss corruptions.
+	var buf bytes.Buffer
+	tr := NewTrace("seed", []Record{
+		{PC: 0x400, Addr: 0x1000, Gap: 3, Dep: DepChain},
+		{PC: 0x404, Addr: 0x2000},
+	})
+	if err := Write(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("PMPT"))
+	f.Add(append(append([]byte{}, valid[:20]...), 0xff))
+	truncated := append([]byte{}, valid[:len(valid)-3]...)
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		// Whatever parsed must re-serialize and re-parse identically.
+		var out bytes.Buffer
+		if err := Write(&out, got); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if back.Name() != got.Name() || back.Len() != got.Len() {
+			t.Fatalf("round trip changed shape: %q/%d vs %q/%d",
+				got.Name(), got.Len(), back.Name(), back.Len())
+		}
+		for i := range got.Records() {
+			if got.Records()[i] != back.Records()[i] {
+				t.Fatalf("record %d changed in round trip", i)
+			}
+		}
+	})
+}

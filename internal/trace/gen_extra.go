@@ -1,0 +1,191 @@
+package trace
+
+import "pmp/internal/mem"
+
+// Extra generators beyond the 125-trace suite: workload archetypes
+// useful for exercising prefetchers outside the paper's benchmark
+// families. They are exposed through pmptrace and the library API but
+// deliberately not part of Suite(), whose composition is calibrated to
+// the paper's Table VI.
+
+// --- HashJoin: database probe-phase workload ---
+
+// HashJoinParams tunes the HashJoin generator.
+type HashJoinParams struct {
+	BuildBytes uint64 // hash table size (randomly probed)
+	ProbeBytes uint64 // outer relation (streamed)
+	RowsPerKey int    // consecutive outer rows sharing cache locality
+	GapMean    int
+}
+
+// DefaultHashJoinParams returns sensible defaults.
+func DefaultHashJoinParams() HashJoinParams {
+	return HashJoinParams{
+		BuildBytes: 24 << 20,
+		ProbeBytes: 64 << 20,
+		RowsPerKey: 4,
+		GapMean:    6,
+	}
+}
+
+// HashJoin interleaves a sequential scan of the outer relation with
+// dependent random probes into the hash table — the classic database
+// pattern: perfectly prefetchable stream + unprefetchable dependent
+// lookups.
+type HashJoin struct {
+	base
+	p        HashJoinParams
+	probePos uint64 // element cursor in the outer relation
+	inRow    int
+}
+
+// NewHashJoin constructs a HashJoin generator.
+func NewHashJoin(name string, seed int64, length int, p HashJoinParams) *HashJoin {
+	g := &HashJoin{base: newBase(name, seed, length), p: p}
+	g.init()
+	return g
+}
+
+func (g *HashJoin) init() {
+	g.probePos = uint64(g.rng.Int63n(int64(g.p.ProbeBytes/8))) &^ (elemsPerLine - 1)
+	g.inRow = 0
+}
+
+// Reset implements Source.
+func (g *HashJoin) Reset() { g.resetBase(); g.init() }
+
+// Next implements Source.
+func (g *HashJoin) Next() (Record, bool) {
+	if g.done() {
+		return Record{}, false
+	}
+	g.emitted++
+	// Alternate: RowsPerKey scan reads, then one hash probe whose
+	// address comes from the scanned key (dependent).
+	if g.inRow < g.p.RowsPerKey {
+		g.inRow++
+		r := Record{PC: 0x900000, Addr: elem(g.probePos), Gap: g.gap(g.p.GapMean)}
+		g.probePos++
+		if g.probePos >= g.p.ProbeBytes/8 {
+			g.probePos = 0
+		}
+		return r, true
+	}
+	g.inRow = 0
+	l := uint64(g.rng.Int63n(int64(g.p.BuildBytes / mem.LineBytes)))
+	return Record{PC: 0x900040, Addr: g.line(l), Gap: g.gap(g.p.GapMean), Dep: DepPrev}, true
+}
+
+// --- TiledGEMM: blocked matrix multiply ---
+
+// TiledGEMMParams tunes the TiledGEMM generator.
+type TiledGEMMParams struct {
+	N       int // matrix dimension in 8-byte elements
+	Tile    int // tile edge in elements
+	GapMean int
+}
+
+// DefaultTiledGEMMParams returns sensible defaults (N=1024 doubles,
+// 32x32 tiles: each matrix is 8MB).
+func DefaultTiledGEMMParams() TiledGEMMParams {
+	return TiledGEMMParams{N: 1024, Tile: 32, GapMean: 2}
+}
+
+// TiledGEMM emits the access pattern of a blocked C += A×B inner
+// kernel: row-major streams through an A tile, column-strided walks
+// through a B tile (stride = N elements = large line strides), and a
+// hot C tile that stays cache-resident. Exercises stream, large-stride
+// and reuse behaviour simultaneously.
+type TiledGEMM struct {
+	base
+	p TiledGEMMParams
+	// tile cursors (element indices within the kernel's three loops)
+	i, j, k int
+	ti, tj  int // current tile origin
+	phase   int // 0: load A[i][k], 1: load B[k][j], 2: load C[i][j]
+}
+
+// NewTiledGEMM constructs a TiledGEMM generator; it panics when the
+// tile does not divide the matrix dimension.
+func NewTiledGEMM(name string, seed int64, length int, p TiledGEMMParams) *TiledGEMM {
+	if p.Tile <= 0 || p.N%p.Tile != 0 {
+		panic("trace: tile must divide N")
+	}
+	return &TiledGEMM{base: newBase(name, seed, length), p: p}
+}
+
+// Reset implements Source.
+func (g *TiledGEMM) Reset() {
+	g.resetBase()
+	g.i, g.j, g.k, g.ti, g.tj, g.phase = 0, 0, 0, 0, 0, 0
+}
+
+// Base addresses of the three matrices (element index spaces).
+func (g *TiledGEMM) aElem(i, k int) uint64 { return uint64(i*g.p.N + k) }
+func (g *TiledGEMM) bElem(k, j int) uint64 {
+	off := uint64(g.p.N * g.p.N)
+	return off + uint64(k*g.p.N+j)
+}
+func (g *TiledGEMM) cElem(i, j int) uint64 {
+	off := uint64(2 * g.p.N * g.p.N)
+	return off + uint64(i*g.p.N+j)
+}
+
+// Next implements Source.
+func (g *TiledGEMM) Next() (Record, bool) {
+	if g.done() {
+		return Record{}, false
+	}
+	g.emitted++
+	var r Record
+	switch g.phase {
+	case 0:
+		r = Record{PC: 0xa00000, Addr: elem(g.aElem(g.ti+g.i, g.k)), Gap: g.gap(g.p.GapMean)}
+	case 1:
+		r = Record{PC: 0xa00040, Addr: elem(g.bElem(g.k, g.tj+g.j)), Gap: g.gap(g.p.GapMean)}
+	default:
+		r = Record{PC: 0xa00080, Addr: elem(g.cElem(g.ti+g.i, g.tj+g.j)), Gap: g.gap(g.p.GapMean)}
+	}
+	// Advance the blocked loop nest: for i, j in tile: for k in tile.
+	g.phase++
+	if g.phase == 3 {
+		g.phase = 0
+		g.k++
+		if g.k == g.p.Tile {
+			g.k = 0
+			g.j++
+			if g.j == g.p.Tile {
+				g.j = 0
+				g.i++
+				if g.i == g.p.Tile {
+					g.i = 0
+					g.tj += g.p.Tile
+					if g.tj >= g.p.N {
+						g.tj = 0
+						g.ti = (g.ti + g.p.Tile) % g.p.N
+					}
+				}
+			}
+		}
+	}
+	return r, true
+}
+
+// ExtraSpecs lists the extension generators in Spec form so tools can
+// offer them alongside the suite.
+func ExtraSpecs() []Spec {
+	return []Spec{
+		{
+			Name: "extra.hashjoin", Family: "extra", Class: HighMPKI,
+			New: func(n int) Source {
+				return NewHashJoin("extra.hashjoin", 71, n, DefaultHashJoinParams())
+			},
+		},
+		{
+			Name: "extra.gemm", Family: "extra", Class: LowMPKI,
+			New: func(n int) Source {
+				return NewTiledGEMM("extra.gemm", 72, n, DefaultTiledGEMMParams())
+			},
+		},
+	}
+}

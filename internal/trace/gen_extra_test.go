@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"testing"
+
+	"pmp/internal/mem"
+)
+
+func TestHashJoinStructure(t *testing.T) {
+	p := DefaultHashJoinParams()
+	p.RowsPerKey = 3
+	g := NewHashJoin("hj", 1, 4000, p)
+	scans, probes := 0, 0
+	var prevScan uint64
+	seenScan := false
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch r.PC {
+		case 0x900000:
+			scans++
+			id := r.Addr.LineID()
+			if seenScan && id != prevScan && id != prevScan+1 && id != 0 {
+				t.Fatalf("scan jumped from line %d to %d", prevScan, id)
+			}
+			prevScan, seenScan = id, true
+			if r.Dep != DepNone {
+				t.Fatal("scan reads must be independent")
+			}
+		case 0x900040:
+			probes++
+			if r.Dep != DepPrev {
+				t.Fatal("hash probes must depend on the scanned key")
+			}
+		default:
+			t.Fatalf("unexpected PC %#x", r.PC)
+		}
+	}
+	// 3 scans per probe.
+	if scans < 2*probes {
+		t.Errorf("scan/probe ratio off: %d scans, %d probes", scans, probes)
+	}
+	if probes == 0 {
+		t.Fatal("no probes emitted")
+	}
+}
+
+func TestHashJoinDeterministic(t *testing.T) {
+	a := Collect(NewHashJoin("hj", 5, 1000, DefaultHashJoinParams()), 0)
+	b := Collect(NewHashJoin("hj", 5, 1000, DefaultHashJoinParams()), 0)
+	for i := range a.Records() {
+		if a.Records()[i] != b.Records()[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestTiledGEMMStructure(t *testing.T) {
+	p := TiledGEMMParams{N: 64, Tile: 8, GapMean: 1}
+	g := NewTiledGEMM("gemm", 1, 3*8*8*8, p) // exactly one (ti, tj) tile pass
+	countsByPC := map[uint64]int{}
+	cLines := map[uint64]bool{}
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		countsByPC[r.PC]++
+		if r.PC == 0xa00080 {
+			cLines[r.Addr.LineID()] = true
+		}
+	}
+	// The three matrices are read equally often.
+	if countsByPC[0xa00000] != countsByPC[0xa00040] ||
+		countsByPC[0xa00040] != countsByPC[0xa00080] {
+		t.Errorf("unbalanced matrix accesses: %v", countsByPC)
+	}
+	// The C tile is hot: 8x8 elements over at most 8 rows of 1 line each.
+	if len(cLines) > 16 {
+		t.Errorf("C tile touches %d lines, should stay small (reuse)", len(cLines))
+	}
+}
+
+func TestTiledGEMMBMatrixStrided(t *testing.T) {
+	p := TiledGEMMParams{N: 256, Tile: 4, GapMean: 1}
+	g := NewTiledGEMM("gemm", 1, 600, p)
+	var prevB uint64
+	seen := false
+	strided := 0
+	total := 0
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if r.PC != 0xa00040 {
+			continue
+		}
+		id := r.Addr.LineID()
+		if seen {
+			total++
+			// Column walk: consecutive B reads jump N elements = N/8 lines.
+			if id == prevB+uint64(p.N)/mem.LineBytes*8 {
+				strided++
+			}
+		}
+		prevB, seen = id, true
+	}
+	if total == 0 || strided*2 < total {
+		t.Errorf("B walks should be row-strided: %d of %d", strided, total)
+	}
+}
+
+func TestTiledGEMMPanicsOnBadTile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tile not dividing N accepted")
+		}
+	}()
+	NewTiledGEMM("g", 1, 10, TiledGEMMParams{N: 100, Tile: 7})
+}
+
+func TestExtraSpecs(t *testing.T) {
+	for _, sp := range ExtraSpecs() {
+		tr := Collect(sp.New(500), 0)
+		if tr.Len() != 500 {
+			t.Errorf("%s emitted %d records", sp.Name, tr.Len())
+		}
+	}
+}
