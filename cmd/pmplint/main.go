@@ -1,0 +1,92 @@
+// Command pmplint runs the repository's custom static-analysis suite
+// (internal/lint) over Go package patterns, enforcing the simulator
+// invariants described in docs/linting.md.
+//
+// Standalone use:
+//
+//	go run ./cmd/pmplint ./...
+//	go run ./cmd/pmplint -analyzers magicgeometry,cyclemath ./internal/prefetchers/...
+//
+// It also speaks the cmd/go vet-tool protocol, so after `go build -o
+// pmplint ./cmd/pmplint` it can run as:
+//
+//	go vet -vettool=$PWD/pmplint ./...
+//
+// Exit status is 1 (standalone) or 2 (vet mode) when diagnostics are
+// reported, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmp/internal/lint"
+)
+
+func main() {
+	// cmd/go probes vet tools with -V=full (build-cache identity,
+	// must print "<name> version <non-devel>") and -flags (supported
+	// flags as a JSON array) before invoking them on packages.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		fmt.Println("pmplint version 1")
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println(`[{"Name":"analyzers","Bool":false,"Usage":"comma-separated analyzers to run"}]`)
+		return
+	}
+
+	var (
+		analyzerList = flag.String("analyzers", "", "comma-separated analyzers to run (default: all)")
+		list         = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Parse()
+
+	var names []string
+	if *analyzerList != "" {
+		names = strings.Split(*analyzerList, ",")
+	}
+	analyzers, err := lint.ByName(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmplint:", err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+
+	// Vet-tool mode: cmd/go passes a single JSON config file ending in
+	// ".cfg" describing one package.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		found, err := lint.RunVetUnit(args[0], analyzers, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmplint:", err)
+			os.Exit(1)
+		}
+		if found {
+			os.Exit(2)
+		}
+		return
+	}
+
+	pkgs, err := lint.Load(".", args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmplint:", err)
+		os.Exit(1)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pmplint: %d issue(s) found\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -109,7 +109,7 @@ func (f Feature) Value(p sms.Pattern) uint64 {
 	case FeatTriggerOffset:
 		return uint64(p.Trigger)
 	case FeatPCTrigger:
-		return pc32<<6 | uint64(p.Trigger)
+		return pc32<<mem.PageOffsetBits | uint64(p.Trigger)
 	case FeatAddress:
 		return addr48
 	case FeatPCAddress:
@@ -123,7 +123,7 @@ func (f Feature) Value(p sms.Pattern) uint64 {
 // ("all the features have the same value range ... a width of 6 bits").
 func (f Feature) Hash6(p sms.Pattern) int {
 	if f == FeatTriggerOffset {
-		return p.Trigger & 63
+		return p.Trigger & (mem.LinesPerPage - 1)
 	}
 	return int(mem.FoldXOR(mem.Mix64(f.Value(p)), 6))
 }

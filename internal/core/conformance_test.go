@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"testing"
+
+	"pmp/internal/core"
+	"pmp/internal/prefetch"
+	"pmp/internal/prefetch/check/conformance"
+)
+
+// TestConformance registers PMP (and its limit-study variant) with the
+// shared runtime contract harness.
+func TestConformance(t *testing.T) {
+	t.Run("pmp", func(t *testing.T) {
+		conformance.Run(t, func() prefetch.Prefetcher { return core.New(core.DefaultConfig()) })
+	})
+	t.Run("pmp-limit", func(t *testing.T) {
+		cfg := core.DefaultConfig()
+		cfg.LowLevelDegree = 1
+		conformance.Run(t, func() prefetch.Prefetcher { return core.New(cfg) })
+	})
+	t.Run("designb", func(t *testing.T) {
+		conformance.Run(t, func() prefetch.Prefetcher { return core.NewDesignB(core.DefaultDesignBConfig()) })
+	})
+}

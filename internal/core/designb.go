@@ -17,6 +17,7 @@ import (
 // valid offsets are replayed as prefetch targets.
 type DesignB struct {
 	cfg    DesignBConfig
+	name   string // computed once at construction; Name() must not format per call
 	region mem.Region
 	fw     *sms.Framework
 	pb     *prefetchBuffer
@@ -87,6 +88,7 @@ func NewDesignB(cfg DesignBConfig) *DesignB {
 	}
 	return &DesignB{
 		cfg:    cfg,
+		name:   fmt.Sprintf("designb-%dw", cfg.Ways),
 		region: region,
 		fw: sms.New(sms.Config{
 			Region: region,
@@ -100,7 +102,7 @@ func NewDesignB(cfg DesignBConfig) *DesignB {
 }
 
 // Name implements prefetch.Prefetcher.
-func (d *DesignB) Name() string { return fmt.Sprintf("designb-%dw", d.cfg.Ways) }
+func (d *DesignB) Name() string { return d.name }
 
 // Train implements prefetch.Prefetcher.
 func (d *DesignB) Train(a prefetch.Access) {

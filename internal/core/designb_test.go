@@ -99,6 +99,19 @@ func TestDesignBName(t *testing.T) {
 	}
 }
 
+// Name must be computed once at construction, not formatted per call
+// (prefetcherimpl contract: names key result maps on hot paths).
+func TestDesignBNameAllocFree(t *testing.T) {
+	d := NewDesignB(DefaultDesignBConfig())
+	first := d.Name()
+	if allocs := testing.AllocsPerRun(100, func() { _ = d.Name() }); allocs != 0 {
+		t.Errorf("Name() allocates %.0f times per call, want 0", allocs)
+	}
+	if again := d.Name(); again != first {
+		t.Errorf("Name() unstable: %q then %q", first, again)
+	}
+}
+
 func TestDesignBStorageGrowsWithWays(t *testing.T) {
 	small := DefaultDesignBConfig()
 	big := DefaultDesignBConfig()

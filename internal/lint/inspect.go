@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// walkStack traverses the file calling fn with each node and the stack
+// of its ancestors (outermost first, not including the node itself).
+// Returning false from fn skips the node's children.
+func walkStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if !descend {
+			// ast.Inspect still calls us with nil for this node's "pop"
+			// only if we return true, so push regardless and descend;
+			// callers that return false genuinely prune the subtree.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// exprString renders an expression compactly ("p.cfg.Cycle").
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	printer.Fprint(&sb, fset, e)
+	return sb.String()
+}
+
+// guardedBy reports whether some enclosing if/for condition in the
+// stack contains a comparison that mentions the rendered expression
+// target. It is a syntactic dominance approximation: `if a >= b { d :=
+// a - b }` is considered guarded for both "a" and "b". The else branch
+// counts too — the inverse inequality holds there, and either way the
+// author has visibly considered the ordering.
+func guardedBy(fset *token.FileSet, stack []ast.Node, node ast.Node, target string) bool {
+	child := node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			if (containsNode(s.Body, child) || containsNode(s.Else, child)) && condMentions(fset, s.Cond, target) {
+				return true
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil && containsNode(s.Body, child) && condMentions(fset, s.Cond, target) {
+				return true
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // do not look past the enclosing function
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// containsNode reports whether outer's subtree contains n (by position;
+// nodes come from one file).
+func containsNode(outer ast.Node, n ast.Node) bool {
+	return outer != nil && n != nil && outer.Pos() <= n.Pos() && n.End() <= outer.End()
+}
+
+// condMentions reports whether the condition contains a comparison
+// operator with the target expression on either side.
+func condMentions(fset *token.FileSet, cond ast.Expr, target string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			if exprString(fset, be.X) == target || exprString(fset, be.Y) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncName returns the name of the innermost function
+// declaration on the stack ("" when at package scope).
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,191 @@
+// Package lint is a self-contained static-analysis framework plus the
+// pmplint analyzer suite that enforces this repository's simulator
+// invariants (line-aligned geometry arithmetic, saturating-counter
+// discipline, cycle-math underflow safety, and the prefetch.Prefetcher
+// implementation contract).
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Diagnostic) but is built only on the standard
+// library so the repository stays dependency-free: packages are loaded
+// with `go list -export` and type-checked with go/types using the
+// toolchain's export data for dependencies (see load.go). Analyzers are
+// compiled into cmd/pmplint, which runs standalone over package
+// patterns and also speaks the `go vet -vettool` protocol.
+//
+// See docs/linting.md for what each analyzer checks and why the
+// invariant matters for the paper's hardware model.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static-analysis pass. It mirrors the x/tools
+// analysis.Analyzer shape so the suite could be ported to the real
+// framework if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:ignore <name> <reason>" suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run executes the pass and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless it is suppressed by a
+// "//lint:ignore" comment (see suppressed).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full pmplint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MagicGeometry,
+		CycleMath,
+		SatCounter,
+		PrefetcherImpl,
+	}
+}
+
+// ByName returns the named analyzers (all when names is empty), or an
+// error naming the unknown entry.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			known := make([]string, len(all))
+			for i, a := range all {
+				known[i] = a.Name
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", n, strings.Join(known, ", "))
+		}
+	}
+	return out, nil
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective parses a "//lint:ignore <analyzer...> <reason>"
+// comment, returning the analyzer names it suppresses (the special name
+// "all" suppresses every analyzer). A directive with no reason is
+// malformed and suppresses nothing, so stale annotations stay visible.
+func ignoreDirective(c *ast.Comment) (names []string, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//lint:ignore ")
+	if !found {
+		return nil, false
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return nil, false // no reason given
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at
+// position is covered by a lint:ignore directive on the same line or
+// the line immediately above it.
+func (p *Package) suppressed(analyzer string, pos token.Position) bool {
+	for _, line := range p.ignores[pos.Filename] {
+		if line.line != pos.Line && line.line != pos.Line-1 {
+			continue
+		}
+		for _, n := range line.names {
+			if n == analyzer || n == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type ignoreLine struct {
+	line  int
+	names []string
+}
+
+// collectIgnores indexes every lint:ignore directive by file and line.
+func (p *Package) collectIgnores() {
+	p.ignores = map[string][]ignoreLine{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := ignoreDirective(c)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				p.ignores[pos.Filename] = append(p.ignores[pos.Filename], ignoreLine{line: pos.Line, names: names})
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pmp/internal/lint"
+	"pmp/internal/lint/linttest"
+)
+
+func TestMagicGeometry(t *testing.T) {
+	linttest.Run(t, lint.MagicGeometry, linttest.Fixture(lint.MagicGeometry))
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PrefetcherImpl enforces the implementation contract on every type
+// that implements prefetch.Prefetcher:
+//
+//   - Name() must return a constant string or a field computed at
+//     construction, never per-call formatting (names key result maps
+//     and must be stable and allocation-free);
+//   - StorageBits() must be non-trivial (`return 0` means the Table
+//     III / Table V overhead comparison silently reports a free
+//     prefetcher);
+//   - the package must not export mutable package-level state (two
+//     simulator instances in one process must not share tables).
+var PrefetcherImpl = &Analyzer{
+	Name: "prefetcherimpl",
+	Doc: "checks prefetch.Prefetcher implementations: constant Name(), " +
+		"non-trivial StorageBits(), no exported mutable package state",
+	Run: runPrefetcherImpl,
+}
+
+func runPrefetcherImpl(pass *Pass) {
+	iface := prefetcherInterface(pass.Pkg.Types)
+	if iface == nil {
+		return
+	}
+	scope := pass.Pkg.Types.Scope()
+	var impls []*types.TypeName
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			impls = append(impls, tn)
+		}
+	}
+	if len(impls) == 0 {
+		return
+	}
+	for _, tn := range impls {
+		checkNameMethod(pass, tn)
+		checkStorageBitsMethod(pass, tn)
+	}
+	checkExportedState(pass)
+}
+
+// prefetcherInterface finds the prefetch.Prefetcher interface among the
+// package's imports. The defining package itself is exempt: its Nop
+// baseline intentionally reports zero storage.
+func prefetcherInterface(pkg *types.Package) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if !strings.HasSuffix(imp.Path(), "internal/prefetch") {
+			continue
+		}
+		obj, ok := imp.Scope().Lookup("Prefetcher").(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}
+
+// methodDecl finds the AST declaration of the named method with a
+// receiver of the given type, or nil when it is not declared in this
+// package (e.g. promoted from an embedded type).
+func methodDecl(pkg *Package, tn *types.TypeName, name string) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recv := fd.Recv.List[0].Type
+			if se, ok := recv.(*ast.StarExpr); ok {
+				recv = se.X
+			}
+			if id, ok := ast.Unparen(recv).(*ast.Ident); ok && id.Name == tn.Name() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// checkNameMethod requires every return in Name() to produce a constant
+// string or read a plain field (set once at construction).
+func checkNameMethod(pass *Pass, tn *types.TypeName) {
+	fd := methodDecl(pass.Pkg, tn, "Name")
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		e := ast.Unparen(ret.Results[0])
+		if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+			return true // constant string
+		}
+		if fieldObject(pass.Pkg.Info, e) != nil {
+			return true // name field computed at construction
+		}
+		pass.Reportf(ret.Pos(), "%s.Name() must return a constant string or a name field, "+
+			"not compute %q per call", tn.Name(), exprString(pass.Pkg.Fset, ret.Results[0]))
+		return true
+	})
+}
+
+// checkStorageBitsMethod flags StorageBits bodies that are just
+// `return 0`.
+func checkStorageBitsMethod(pass *Pass, tn *types.TypeName) {
+	fd := methodDecl(pass.Pkg, tn, "StorageBits")
+	if fd == nil || fd.Body == nil || len(fd.Body.List) != 1 {
+		return
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return
+	}
+	if lit, ok := ast.Unparen(ret.Results[0]).(*ast.BasicLit); ok && lit.Kind == token.INT && lit.Value == "0" {
+		pass.Reportf(ret.Pos(), "%s.StorageBits() returns the literal 0; "+
+			"account the hardware budget (Table III/V comparisons treat this as a free prefetcher)", tn.Name())
+	}
+}
+
+// checkExportedState flags exported package-level variables in a
+// package that hosts a Prefetcher implementation.
+func checkExportedState(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.IsExported() {
+						pass.Reportf(name.Pos(), "exported mutable package state %q in a prefetcher package; "+
+							"keep all state per-instance so simulator instances stay independent", name.Name)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pmp/internal/lint"
+	"pmp/internal/lint/linttest"
+)
+
+func TestPrefetcherImpl(t *testing.T) {
+	linttest.Run(t, lint.PrefetcherImpl, linttest.Fixture(lint.PrefetcherImpl))
+}

@@ -1,0 +1,53 @@
+// Fixtures for the magicgeometry analyzer: hardcoded 64/6/4096/12
+// address arithmetic must be flagged; mem-constant forms and
+// non-address word math must pass.
+package fixture
+
+import "pmp/internal/mem"
+
+// --- seeded violations ---
+
+func lineIDBad(addr mem.Addr) uint64 {
+	return uint64(addr) >> 6 // want "hardcoded geometry literal 6"
+}
+
+func keyBad(pc uint64, offset int) uint64 {
+	return pc<<6 ^ uint64(offset) // want "hardcoded geometry literal 6"
+}
+
+func pageMaskBad(lineAddr uint64) uint64 {
+	return lineAddr & 4095 // want "hardcoded geometry literal 4095"
+}
+
+func byteAddrBad(line uint64) uint64 {
+	return line * 64 // want "hardcoded geometry literal 64"
+}
+
+func pageIDBad(a mem.Addr) uint64 {
+	return uint64(a) >> 12 // want "hardcoded geometry literal 12"
+}
+
+func offsetMaskBad(trigger int) int {
+	return trigger & 63 // want "hardcoded geometry literal 63"
+}
+
+// --- clean idiomatic forms ---
+
+func lineIDGood(addr mem.Addr) uint64 { return addr.LineID() }
+
+func keyGood(pc uint64, offset int) uint64 {
+	return pc<<mem.PageOffsetBits ^ uint64(offset)
+}
+
+func regionGood(r mem.Region, a mem.Addr) int { return r.Offset(a) }
+
+// Bit-vector word indexing: 64 is bits-per-word here, not geometry.
+func wordMath(h uint64) (int, uint64) { return int(h / 64), h % 64 }
+
+// Whole-expression constants are buffer sizing, not address math.
+func bufSize() []byte { return make([]byte, 65*64) }
+
+func suppressedOK(addr mem.Addr) uint64 {
+	//lint:ignore magicgeometry fixture demonstrates suppression
+	return uint64(addr) >> 6
+}

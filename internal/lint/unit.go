@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each
+// package when a vet tool is invoked via `go vet -vettool=pmplint`
+// (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit analyzes the single package described by the cmd/go vet
+// config file and prints diagnostics to w in the standard
+// file:line:col form. It reports whether any diagnostics were found.
+//
+// This implements enough of the x/tools unitchecker protocol for
+// `go vet -vettool=$(go env GOBIN)/pmplint ./...` to work: an empty
+// facts file is written to VetxOutput so cmd/go can cache the run, and
+// VetxOnly invocations (dependency passes) report nothing.
+func RunVetUnit(cfgPath string, analyzers []*Analyzer, w io.Writer) (found bool, err error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return false, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return false, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		// pmplint analyzers keep no cross-package facts; the file just
+		// has to exist for cmd/go's cache bookkeeping.
+		if err := os.WriteFile(cfg.VetxOutput, []byte("pmplint\n"), 0o666); err != nil {
+			return false, err
+		}
+	}
+	if cfg.VetxOnly {
+		return false, nil
+	}
+	pkg, err := typecheck(cfg.ImportPath, cfg.Dir, cfg.GoFiles, lookupFunc(cfg.PackageFile, cfg.ImportMap))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return false, nil
+		}
+		return false, err
+	}
+	diags := Run([]*Package{pkg}, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s:%d:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+	}
+	return len(diags) > 0, nil
+}

@@ -21,6 +21,10 @@ const (
 	PageShift     = 12   // log2(PageBytes)
 	LinesPerPage  = PageBytes / LineBytes
 	DefaultRegion = PageBytes
+	// PageOffsetBits is the width of a line offset within a page
+	// (log2(LinesPerPage)), the shift used when packing a PC with a
+	// trigger offset into one key.
+	PageOffsetBits = PageShift - LineShift
 )
 
 // Addr is a byte-granular virtual address.

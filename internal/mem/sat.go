@@ -1,0 +1,43 @@
+package mem
+
+// Saturating scalar counter helpers. Hardware confidence counters clamp
+// at their ceiling instead of wrapping; the satcounter analyzer
+// (docs/linting.md) requires fields documented as saturating to be
+// updated through these helpers or behind an explicit ceiling
+// comparison.
+
+// Integer constrains the saturating helpers to the integer counter
+// widths used by the prefetchers.
+type Integer interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64
+}
+
+// SatInc returns v+1 clamped at max.
+func SatInc[T Integer](v, max T) T {
+	if v < max {
+		return v + 1
+	}
+	return max
+}
+
+// SatDec returns v-1 clamped at min.
+func SatDec[T Integer](v, min T) T {
+	if v > min {
+		return v - 1
+	}
+	return min
+}
+
+// SatAdd returns v+d clamped to [min, max]; d may be negative for
+// signed counter types (perceptron weights).
+func SatAdd[T Integer](v, d, min, max T) T {
+	s := v + d
+	if d > 0 && (s > max || s < v) {
+		return max
+	}
+	if d < 0 && (s < min || s > v) {
+		return min
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package conformance_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pmp/internal/bench"
+	"pmp/internal/mem"
+	"pmp/internal/prefetch"
+	"pmp/internal/prefetch/check/conformance"
+)
+
+// TestAllRegisteredPrefetchers runs the contract harness over every
+// prefetcher in the bench registry, so a prefetcher added to the
+// registry cannot ship without passing the contract — even before its
+// package adds its own one-line conformance test.
+func TestAllRegisteredPrefetchers(t *testing.T) {
+	for _, name := range bench.Names() {
+		t.Run(name, func(t *testing.T) {
+			var opts []conformance.Option
+			if name == bench.NameNone {
+				opts = append(opts, conformance.AllowZeroStorage())
+			}
+			conformance.Run(t, func() prefetch.Prefetcher { return bench.NewPrefetcher(name) }, opts...)
+		})
+	}
+}
+
+// recorder stands in for *testing.T so harness failures can be
+// asserted rather than propagated.
+type recorder struct {
+	violations []string
+}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.violations = append(r.violations, fmt.Sprintf(format, args...))
+}
+
+// overIssuer violates the Issue(max) bound.
+type overIssuer struct{ prefetch.Nop }
+
+func (overIssuer) Name() string { return "over-issuer" }
+
+func (overIssuer) Issue(max int) []prefetch.Request {
+	out := make([]prefetch.Request, max+1)
+	for i := range out {
+		out[i] = prefetch.Request{Addr: mem.Addr(i * mem.LineBytes), Level: prefetch.LevelL1}
+	}
+	return out
+}
+
+func (overIssuer) StorageBits() int { return 8 }
+
+// TestHarnessCatchesOverIssue is the meta-test: deliberately breaking
+// the Issue contract must fail the harness.
+func TestHarnessCatchesOverIssue(t *testing.T) {
+	rec := &recorder{}
+	conformance.Run(rec, func() prefetch.Prefetcher { return overIssuer{} })
+	found := false
+	for _, v := range rec.violations {
+		if strings.Contains(v, "over budget") || strings.Contains(v, "max <= 0") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("harness missed an over-budget Issue; violations: %v", rec.violations)
+	}
+}
+
+// unalignedIssuer emits a mid-line target.
+type unalignedIssuer struct{ prefetch.Nop }
+
+func (unalignedIssuer) Name() string { return "unaligned-issuer" }
+
+func (unalignedIssuer) Issue(max int) []prefetch.Request {
+	if max < 1 {
+		return nil
+	}
+	return []prefetch.Request{{Addr: mem.Addr(mem.LineBytes + 4), Level: prefetch.LevelL1}}
+}
+
+func (unalignedIssuer) StorageBits() int { return 8 }
+
+func TestHarnessCatchesUnalignedTarget(t *testing.T) {
+	rec := &recorder{}
+	conformance.Run(rec, func() prefetch.Prefetcher { return unalignedIssuer{} })
+	found := false
+	for _, v := range rec.violations {
+		if strings.Contains(v, "not line-aligned") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("harness missed an unaligned target; violations: %v", rec.violations)
+	}
+}

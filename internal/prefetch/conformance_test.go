@@ -1,0 +1,14 @@
+package prefetch_test
+
+import (
+	"testing"
+
+	"pmp/internal/prefetch"
+	"pmp/internal/prefetch/check/conformance"
+)
+
+// TestNopConformance registers the non-prefetching baseline with the
+// shared contract harness; it alone may report zero storage.
+func TestNopConformance(t *testing.T) {
+	conformance.Run(t, func() prefetch.Prefetcher { return prefetch.Nop{} }, conformance.AllowZeroStorage())
+}

@@ -111,7 +111,7 @@ func (p *Prefetcher) Name() string { return "bingo" }
 // explicit mask (rather than a width-0 fold) keeps degenerate 1-set
 // configurations in range.
 func (p *Prefetcher) shortIndex(pc uint64, offset int) uint64 {
-	key := pc<<6 ^ uint64(offset)
+	key := pc<<mem.PageOffsetBits ^ uint64(offset)
 	return mem.Mix64(key) & uint64(p.cfg.PHTSets-1)
 }
 

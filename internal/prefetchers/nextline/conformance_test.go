@@ -1,0 +1,15 @@
+package nextline_test
+
+import (
+	"testing"
+
+	"pmp/internal/prefetch"
+	"pmp/internal/prefetch/check/conformance"
+	"pmp/internal/prefetchers/nextline"
+)
+
+// TestConformance registers this prefetcher with the shared runtime
+// contract harness (see internal/prefetch/check/conformance).
+func TestConformance(t *testing.T) {
+	conformance.Run(t, func() prefetch.Prefetcher { return nextline.New(1) })
+}

@@ -75,7 +75,7 @@ func (p *Prefetcher) Name() string { return "sms" }
 
 // event is the original's PC⊕offset trigger event.
 func (p *Prefetcher) event(pc uint64, offset int) (int, uint32) {
-	h := mem.Mix64(pc<<6 ^ uint64(offset))
+	h := mem.Mix64(pc<<mem.PageOffsetBits ^ uint64(offset))
 	return int(h & uint64(p.cfg.PHTSets-1)), uint32(h >> 34)
 }
 

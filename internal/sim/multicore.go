@@ -155,11 +155,15 @@ func (m *Multicore) Run(traces []trace.Source) []Result {
 	for i, s := range m.cores {
 		st := states[i]
 		end := s.core.Drain()
+		var cycles uint64
+		if end >= st.startCycle {
+			cycles = end - st.startCycle
+		}
 		results[i] = Result{
 			Trace:        st.src.Name(),
 			Prefetcher:   s.pf.Name(),
 			Instructions: s.core.Dispatched() - st.startInstr,
-			Cycles:       end - st.startCycle,
+			Cycles:       cycles,
 			L1D:          s.l1d.Stats(),
 			L2C:          s.l2c.Stats(),
 			// The LLC and DRAM are shared: their stats describe the

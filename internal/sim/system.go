@@ -225,11 +225,15 @@ func (s *System) Run(src trace.Source) Result {
 		// Trace shorter than warm-up: measure everything.
 		startCycle, startInstr = 0, 0
 	}
+	var cycles uint64
+	if endCycle >= startCycle {
+		cycles = endCycle - startCycle
+	}
 	return Result{
 		Trace:        src.Name(),
 		Prefetcher:   s.pf.Name(),
 		Instructions: s.core.Dispatched() - startInstr,
-		Cycles:       endCycle - startCycle,
+		Cycles:       cycles,
 		L1D:          s.l1d.Stats(),
 		L2C:          s.l2c.Stats(),
 		LLC:          s.llc.Stats(),
