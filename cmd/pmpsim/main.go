@@ -10,10 +10,13 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"pmp/internal/analysis"
 	"pmp/internal/bench"
 	"pmp/internal/sim"
 	"pmp/internal/trace"
@@ -30,6 +33,9 @@ func main() {
 	llcMB := flag.Int("llc", 2, "LLC size in MB")
 	llcpf := flag.String("llcpf", "", "additionally attach a prefetcher at the LLC (trains on LLC accesses, fills LLC)")
 	baseline := flag.Bool("baseline", false, "also run the non-prefetching baseline and report NIPC")
+	traceLifecycle := flag.Bool("trace-lifecycle", false, "track every prefetch from issue to resolution and report timely/late/useless/redundant counts with fill-to-use slack")
+	lifecycleJSONL := flag.String("lifecycle-jsonl", "", "write one JSON object per resolved prefetch lifecycle to this file (implies -trace-lifecycle)")
+	topRegions := flag.Int("lifecycle-regions", 3, "hottest 4KB regions to list per prefetcher in the lifecycle report")
 	listTraces := flag.Bool("list-traces", false, "list suite trace names and exit")
 	flag.Parse()
 
@@ -64,8 +70,20 @@ func main() {
 		}
 		sys.AttachLLCPrefetcher(lp)
 	}
+	if *traceLifecycle || *lifecycleJSONL != "" {
+		sink, flush, err := lifecycleSink(*lifecycleJSONL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmpsim:", err)
+			os.Exit(1)
+		}
+		sys.EnableLifecycleTracing(sink)
+		defer flush()
+	}
 	res := sys.Run(src)
 	printResult(res)
+	for _, report := range analysis.Timeliness(res, *topRegions) {
+		fmt.Print(report)
+	}
 
 	if *baseline {
 		base := sim.NewSystem(cfg, bench.NewPrefetcher(bench.NameNone)).Run(src)
@@ -73,6 +91,37 @@ func main() {
 			base.IPC(), res.IPC()/base.IPC(),
 			100*float64(res.DRAM.Requests)/float64(base.DRAM.Requests))
 	}
+}
+
+// lifecycleSink returns the lifecycle event sink (nil when no JSONL
+// path was given — aggregates only) plus a flush/close function.
+func lifecycleSink(path string) (func(sim.LifecycleEvent), func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	sink := func(ev sim.LifecycleEvent) {
+		if err := enc.Encode(ev); err != nil {
+			fmt.Fprintln(os.Stderr, "pmpsim: lifecycle export:", err)
+			os.Exit(1)
+		}
+	}
+	flush := func() {
+		err := w.Flush()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmpsim: lifecycle export:", err)
+			os.Exit(1)
+		}
+	}
+	return sink, flush, nil
 }
 
 func openSource(file, name string, records int) (trace.Source, error) {

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"pmp/internal/prefetch"
+	"pmp/internal/sim"
+)
+
+// LevelTimeliness pairs one cache level's lifecycle aggregate with the
+// coverage it achieved against that level's demand misses.
+type LevelTimeliness struct {
+	Level    prefetch.Level
+	Stats    sim.LifecycleStats
+	Coverage float64
+}
+
+// TimelinessReport derives the evaluation metrics the paper's fill-level
+// arbitration reasons about from one prefetcher's lifecycle snapshot:
+// how many prefetches were timely, late, useless or redundant, how much
+// slack the timely ones had, and which 4KB regions dominated the
+// traffic.
+type TimelinessReport struct {
+	Prefetcher string
+	Total      sim.LifecycleStats
+	Open       uint64
+	Levels     []LevelTimeliness     // levels with any activity, L1 outward
+	TopRegions []sim.RegionLifecycle // hottest regions by issue count
+}
+
+// Timeliness builds one report per lifecycle snapshot in the result
+// (empty when the run was not traced). topRegions bounds the per-report
+// region list; <= 0 keeps none.
+func Timeliness(res sim.Result, topRegions int) []TimelinessReport {
+	demandMisses := [4]uint64{
+		prefetch.LevelL1:  res.L1D.DemandMisses,
+		prefetch.LevelL2:  res.L2C.DemandMisses,
+		prefetch.LevelLLC: res.LLC.DemandMisses,
+	}
+	reports := make([]TimelinessReport, 0, len(res.Lifecycle))
+	for _, sn := range res.Lifecycle {
+		r := TimelinessReport{Prefetcher: sn.Prefetcher, Total: sn.Total, Open: sn.Open}
+		for lv, st := range sn.PerLevel {
+			if st == (sim.LifecycleStats{}) {
+				continue
+			}
+			r.Levels = append(r.Levels, LevelTimeliness{
+				Level:    prefetch.Level(lv),
+				Stats:    st,
+				Coverage: st.Coverage(demandMisses[lv]),
+			})
+		}
+		if topRegions > 0 {
+			n := min(topRegions, len(sn.Regions))
+			r.TopRegions = sn.Regions[:n]
+		}
+		reports = append(reports, r)
+	}
+	return reports
+}
+
+// String renders the report as the block `pmpsim -trace-lifecycle`
+// prints.
+func (r TimelinessReport) String() string {
+	var sb strings.Builder
+	t := r.Total
+	fmt.Fprintf(&sb, "lifecycle [%s]: %d issued, %d redundant, %d open\n",
+		r.Prefetcher, t.Issued, t.Redundant, r.Open)
+	fmt.Fprintf(&sb, "  timely %d / late %d / useless %d (accuracy %.1f%%, timely %.1f%% of used)\n",
+		t.Timely, t.Late, t.Useless, 100*t.Accuracy(), 100*t.TimelyFraction())
+	fmt.Fprintf(&sb, "  avg fill-to-use slack %.0f cyc, avg lateness %.0f cyc\n",
+		t.AvgSlack(), t.AvgLateness())
+	for _, lv := range r.Levels {
+		s := lv.Stats
+		fmt.Fprintf(&sb, "  %-3s: issued %d, timely/late/useless/redundant %d/%d/%d/%d, coverage %.1f%%, slack %.0f cyc\n",
+			lv.Level, s.Issued, s.Timely, s.Late, s.Useless, s.Redundant, 100*lv.Coverage, s.AvgSlack())
+	}
+	for i, reg := range r.TopRegions {
+		s := reg.Stats
+		fmt.Fprintf(&sb, "  region#%d %#012x: issued %d, timely/late/useless %d/%d/%d\n",
+			i+1, uint64(reg.Region), s.Issued, s.Timely, s.Late, s.Useless)
+	}
+	return sb.String()
+}

@@ -125,6 +125,50 @@ type Eviction struct {
 	Used       bool // was demand-touched since fill
 }
 
+// PrefetchEventKind identifies a step in a prefetched line's lifecycle.
+type PrefetchEventKind uint8
+
+const (
+	// PrefetchFilled: a prefetch fill was inserted; Cycle is the cycle
+	// the fill completes.
+	PrefetchFilled PrefetchEventKind = iota
+	// PrefetchUsed: first demand hit on a prefetched line; Cycle is the
+	// demand cycle, FillCycle the line's fill-completion cycle, and Late
+	// mirrors the Stats.LatePrefetch rule (the fill completes after a
+	// plain hit would have returned).
+	PrefetchUsed
+	// PrefetchDead: a prefetched line left the cache untouched (evicted
+	// or back-invalidated); Cycle approximates when (0 for
+	// invalidations, which carry no clock).
+	PrefetchDead
+)
+
+// String implements fmt.Stringer.
+func (k PrefetchEventKind) String() string {
+	switch k {
+	case PrefetchFilled:
+		return "filled"
+	case PrefetchUsed:
+		return "used"
+	case PrefetchDead:
+		return "dead"
+	default:
+		return "invalid"
+	}
+}
+
+// PrefetchEvent is one per-request lifecycle observation for a
+// prefetched line at this cache level. The simulator's lifecycle
+// tracker correlates these with issue records to classify every
+// prefetch as timely, late or useless.
+type PrefetchEvent struct {
+	Kind      PrefetchEventKind
+	Line      mem.Addr
+	Cycle     uint64 // when the event happened (see kind docs)
+	FillCycle uint64 // fill-completion cycle (PrefetchUsed only)
+	Late      bool   // PrefetchUsed: fill still in flight at use
+}
+
 // Cache is one set-associative cache level.
 type Cache struct {
 	cfg      Config
@@ -141,6 +185,13 @@ type Cache struct {
 	// Feedback-driven prefetchers learn from this; it fires regardless
 	// of whether statistics are enabled.
 	PrefetchOutcome func(line mem.Addr, useful bool)
+
+	// PrefetchTrace, when non-nil, receives per-request lifecycle
+	// events for prefetched lines (fill, first demand use, untouched
+	// death). Like PrefetchOutcome it fires regardless of whether
+	// statistics are enabled; leave it nil to keep the hot path free of
+	// tracing overhead.
+	PrefetchTrace func(ev PrefetchEvent)
 }
 
 // New constructs a cache; it panics on invalid configuration (a
@@ -210,6 +261,12 @@ func (c *Cache) Lookup(a mem.Addr, now uint64, demand bool) (bool, uint64) {
 					c.stats.UsefulPrefetch++
 				}
 				l.used = true
+				if c.PrefetchTrace != nil {
+					c.PrefetchTrace(PrefetchEvent{
+						Kind: PrefetchUsed, Line: a, Cycle: now,
+						FillCycle: l.ready, Late: l.ready > now+c.cfg.Latency,
+					})
+				}
 				if c.PrefetchOutcome != nil {
 					c.PrefetchOutcome(a, true)
 				}
@@ -269,12 +326,20 @@ func (c *Cache) Fill(a mem.Addr, readyCycle uint64, prefetched bool) Eviction {
 			if c.statsOn {
 				c.stats.UselessPrefetx++
 			}
+			if c.PrefetchTrace != nil {
+				// The displacing fill's completion is the closest clock
+				// this path has to "now".
+				c.PrefetchTrace(PrefetchEvent{Kind: PrefetchDead, Line: v.tag, Cycle: readyCycle})
+			}
 			if c.PrefetchOutcome != nil {
 				c.PrefetchOutcome(v.tag, false)
 			}
 		}
 	}
 	*v = line{tag: a, valid: true, lru: c.stamp, rrpv: 2, ready: readyCycle, prefetched: prefetched}
+	if prefetched && c.PrefetchTrace != nil {
+		c.PrefetchTrace(PrefetchEvent{Kind: PrefetchFilled, Line: a, Cycle: readyCycle})
+	}
 	return ev
 }
 
@@ -321,6 +386,9 @@ func (c *Cache) Invalidate(a mem.Addr) bool {
 			if l.prefetched && !l.used {
 				if c.statsOn {
 					c.stats.UselessPrefetx++
+				}
+				if c.PrefetchTrace != nil {
+					c.PrefetchTrace(PrefetchEvent{Kind: PrefetchDead, Line: a})
 				}
 				if c.PrefetchOutcome != nil {
 					c.PrefetchOutcome(a, false)

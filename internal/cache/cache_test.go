@@ -358,3 +358,114 @@ func TestReserveMSHRUpdatesExisting(t *testing.T) {
 		t.Errorf("busy = %d, want 4 (update must not add a slot)", got)
 	}
 }
+
+func TestPrefetchTraceFillUseTimely(t *testing.T) {
+	c := New(testConfig())
+	var events []PrefetchEvent
+	c.PrefetchTrace = func(ev PrefetchEvent) { events = append(events, ev) }
+	a := mem.Addr(0x1000)
+	c.Fill(a, 150, true)
+	c.Lookup(a, 200, true) // demand use well after the fill completed
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want fill+use: %+v", len(events), events)
+	}
+	fill, use := events[0], events[1]
+	if fill.Kind != PrefetchFilled || fill.Line != a || fill.Cycle != 150 {
+		t.Errorf("fill event = %+v", fill)
+	}
+	if use.Kind != PrefetchUsed || use.Line != a || use.Cycle != 200 || use.FillCycle != 150 {
+		t.Errorf("use event = %+v", use)
+	}
+	if use.Late {
+		t.Error("fill completed 50 cycles before use; must not be late")
+	}
+	// A second demand hit resolves nothing new.
+	c.Lookup(a, 300, true)
+	if len(events) != 2 {
+		t.Errorf("second hit emitted extra events: %+v", events[2:])
+	}
+}
+
+func TestPrefetchTraceLateUse(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg)
+	var events []PrefetchEvent
+	c.PrefetchTrace = func(ev PrefetchEvent) { events = append(events, ev) }
+	a := mem.Addr(0x2000)
+	c.Fill(a, 500, true)       // fill still in flight...
+	c.Lookup(a, 100, true)     // ...when the demand arrives
+	if len(events) != 2 || events[1].Kind != PrefetchUsed {
+		t.Fatalf("events = %+v", events)
+	}
+	if !events[1].Late {
+		t.Error("fill completing 400 cycles after the demand must be late")
+	}
+	if events[1].FillCycle != 500 {
+		t.Errorf("FillCycle = %d, want 500", events[1].FillCycle)
+	}
+	// Consistency with the aggregate counter.
+	c.EnableStats(true)
+	b := mem.Addr(0x4000)
+	c.Fill(b, 900, true)
+	c.Lookup(b, 200, true)
+	if s := c.Stats(); s.LatePrefetch != 1 {
+		t.Errorf("LatePrefetch = %d, want 1", s.LatePrefetch)
+	}
+	if last := events[len(events)-1]; last.Kind != PrefetchUsed || !last.Late {
+		t.Errorf("trace and Stats.LatePrefetch disagree: %+v", last)
+	}
+}
+
+func TestPrefetchTraceDeadOnEvictionAndInvalidate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Ways = 1 // direct-mapped: second fill of a set evicts the first
+	c := New(cfg)
+	var events []PrefetchEvent
+	c.PrefetchTrace = func(ev PrefetchEvent) { events = append(events, ev) }
+	a := mem.Addr(0x1000)
+	c.Fill(a, 100, true)
+	// Same set (4 sets x 64B lines): 0x1000 + 4*64.
+	conflict := a + mem.Addr(4*mem.LineBytes)
+	c.Fill(conflict, 300, false)
+	var dead []PrefetchEvent
+	for _, ev := range events {
+		if ev.Kind == PrefetchDead {
+			dead = append(dead, ev)
+		}
+	}
+	if len(dead) != 1 || dead[0].Line != a || dead[0].Cycle != 300 {
+		t.Fatalf("dead events = %+v, want untouched %#x dead at 300", dead, a)
+	}
+
+	// Invalidation of an untouched prefetched line is dead too.
+	b := mem.Addr(0x2000)
+	c.Fill(b, 100, true)
+	c.Invalidate(b)
+	last := events[len(events)-1]
+	if last.Kind != PrefetchDead || last.Line != b {
+		t.Fatalf("invalidate emitted %+v, want dead %#x", last, b)
+	}
+
+	// A used prefetched line dies silently.
+	u := mem.Addr(0x3000)
+	c.Fill(u, 100, true)
+	c.Lookup(u, 200, true)
+	n := len(events)
+	c.Invalidate(u)
+	if len(events) != n {
+		t.Errorf("used line emitted %+v on invalidate", events[n:])
+	}
+}
+
+func TestPrefetchTraceSilentForDemandFills(t *testing.T) {
+	c := New(testConfig())
+	var events []PrefetchEvent
+	c.PrefetchTrace = func(ev PrefetchEvent) { events = append(events, ev) }
+	a := mem.Addr(0x1000)
+	c.Fill(a, 100, false)
+	c.Lookup(a, 200, true)
+	c.Invalidate(a)
+	if len(events) != 0 {
+		t.Errorf("demand-filled line emitted %+v", events)
+	}
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Capacity flags inserts into bounded hardware buffers — MSHR files,
+// prefetch queues, pending/in-flight tables, FIFOs — that are not
+// dominated by an occupancy check. Every such structure models a fixed
+// number of SRAM entries; an unchecked `append` or map insert grows
+// without bound, which both breaks the paper's storage accounting and
+// silently grants the prefetcher infinite outstanding requests.
+var Capacity = &Analyzer{
+	Name: "capacity",
+	Doc: "flags appends/inserts into MSHR-, queue-, pending- or FIFO-named containers " +
+		"with no dominating occupancy or membership check against their capacity",
+	Run: runCapacity,
+}
+
+func runCapacity(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			container := enqueueTarget(pass.Pkg.Fset, as)
+			if container == nil || !capacityFlavoured(container) {
+				return true
+			}
+			c := exprString(pass.Pkg.Fset, container)
+			if capacityGuarded(pass.Pkg.Fset, stack, n, c) {
+				return true
+			}
+			pass.Reportf(as.Pos(), "insert into bounded structure %s has no dominating capacity check; "+
+				"compare its occupancy (e.g. len(%s)) against the limit first", c, c)
+			return true
+		})
+	}
+}
+
+// enqueueTarget returns the container an assignment grows, or nil when
+// the statement is not an insert: either a map/slice element write
+// `C[k] = v` or a self-append `C = append(C, ...)`.
+func enqueueTarget(fset *token.FileSet, as *ast.AssignStmt) ast.Expr {
+	if idx, ok := ast.Unparen(as.Lhs[0]).(*ast.IndexExpr); ok {
+		return idx.X
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return nil
+	}
+	lhs := exprString(fset, as.Lhs[0])
+	if exprString(fset, call.Args[0]) != lhs {
+		return nil
+	}
+	return as.Lhs[0]
+}
+
+// capacityFlavoured reports whether the container expression names a
+// bounded hardware buffer: an identifier containing mshr/queue/pend/
+// inflight/fifo, or exactly q/pq.
+func capacityFlavoured(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		lower := strings.ToLower(id.Name)
+		for _, w := range []string{"mshr", "queue", "pend", "inflight", "fifo"} {
+			if strings.Contains(lower, w) {
+				found = true
+				return false
+			}
+		}
+		if lower == "q" || lower == "pq" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// capacityGuarded reports whether the insert is dominated by a check
+// that visibly considers the container's occupancy: an enclosing
+// if/for whose init or condition mentions the container (membership
+// merge) or its length, or carries a capacity-worded comparison — or a
+// preceding early-exit if in an enclosing block doing the same.
+func capacityGuarded(fset *token.FileSet, stack []ast.Node, node ast.Node, container string) bool {
+	child := node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			if (containsNode(s.Body, child) || containsNode(s.Else, child)) &&
+				(capacityCheck(fset, s.Cond, container) || (s.Init != nil && capacityCheck(fset, s.Init, container))) {
+				return true
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil && containsNode(s.Body, child) && capacityCheck(fset, s.Cond, container) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if precedingEarlyExit(fset, s, child, container) {
+				return true
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // do not look past the enclosing function
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// precedingEarlyExit scans the statements of block before child for an
+// if whose body unconditionally leaves the block (return, branch or
+// panic) and whose init or condition checks the container's occupancy:
+// the classic `if len(q) >= cap { return false }` bail-out shape.
+func precedingEarlyExit(fset *token.FileSet, block *ast.BlockStmt, child ast.Node, container string) bool {
+	for _, st := range block.List {
+		if st.Pos() >= child.Pos() {
+			break
+		}
+		ifs, ok := st.(*ast.IfStmt)
+		if !ok || !terminates(ifs.Body) {
+			continue
+		}
+		if capacityCheck(fset, ifs.Cond, container) || (ifs.Init != nil && capacityCheck(fset, ifs.Init, container)) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether the block's last statement unconditionally
+// transfers control out of the surrounding flow.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		return ok && fn.Name == "panic"
+	}
+	return false
+}
+
+// capacityCheck reports whether the init statement or condition
+// expression visibly considers the container: it mentions the container
+// itself or len(container), or compares something capacity-worded
+// (cap/limit/max/size/budget/free/busy/room/full).
+func capacityCheck(fset *token.FileSet, n ast.Node, container string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := x.(type) {
+		case *ast.CallExpr:
+			if fn, ok := e.Fun.(*ast.Ident); ok && fn.Name == "len" && len(e.Args) == 1 &&
+				exprString(fset, e.Args[0]) == container {
+				found = true
+				return false
+			}
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				if capacityWorded(e.X) || capacityWorded(e.Y) {
+					found = true
+					return false
+				}
+			}
+		case ast.Expr:
+			if exprString(fset, e) == container {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// capacityWorded reports whether the expression mentions an identifier
+// that names a bound: cap, limit, max, size, budget, free, busy, room
+// or full.
+func capacityWorded(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		lower := strings.ToLower(id.Name)
+		for _, w := range []string{"cap", "limit", "max", "size", "budget", "free", "busy", "room", "full"} {
+			if strings.Contains(lower, w) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -77,6 +77,7 @@ func Analyzers() []*Analyzer {
 		MagicGeometry,
 		CycleMath,
 		SatCounter,
+		Capacity,
 		PrefetcherImpl,
 	}
 }

@@ -1,0 +1,93 @@
+// Fixtures for the capacity analyzer: inserts into bounded
+// hardware-buffer-named containers (MSHR files, prefetch queues,
+// pending tables, FIFOs) must be dominated by an occupancy or
+// membership check.
+package fixture
+
+type request struct{ addr uint64 }
+
+type prefetchQueue struct {
+	queue    []request
+	pending  map[uint64]struct{}
+	inflight map[uint64]uint64
+	capacity int
+}
+
+// --- seeded violations ---
+
+func pushUnchecked(pq *prefetchQueue, r request) {
+	pq.queue = append(pq.queue, r) // want "no dominating capacity check"
+}
+
+func trackUnchecked(pq *prefetchQueue, r request) {
+	pq.pending[r.addr] = struct{}{} // want "no dominating capacity check"
+}
+
+func reserveUnchecked(pq *prefetchQueue, line, done uint64) {
+	pq.inflight[line] = done // want "no dominating capacity check"
+}
+
+func forgottenBailOut(pq *prefetchQueue, r request) {
+	// The occupancy check neither encloses the insert nor exits early,
+	// so it does not dominate it.
+	if len(pq.pending) >= pq.capacity {
+		r.addr = 0
+	}
+	pq.pending[r.addr] = struct{}{} // want "no dominating capacity check"
+}
+
+// --- clean idiomatic forms ---
+
+func pushGuarded(pq *prefetchQueue, r request) bool {
+	if len(pq.queue) >= pq.capacity {
+		return false
+	}
+	pq.queue = append(pq.queue, r)
+	return true
+}
+
+func pushEnclosed(pq *prefetchQueue, r request) {
+	if len(pq.queue) < pq.capacity {
+		pq.queue = append(pq.queue, r)
+	}
+}
+
+func mergeOnMembership(pq *prefetchQueue, line, done uint64) bool {
+	// Reusing an existing entry consumes no new slot, so a membership
+	// check dominates the insert.
+	if _, held := pq.inflight[line]; held {
+		pq.inflight[line] = done
+		return true
+	}
+	busy := len(pq.inflight)
+	limit := cap(pq.queue)
+	if busy >= limit {
+		return false
+	}
+	pq.inflight[line] = done
+	return true
+}
+
+func trackAfterDupCheck(pq *prefetchQueue, r request) bool {
+	if len(pq.queue) >= pq.capacity {
+		return false
+	}
+	if _, dup := pq.pending[r.addr]; dup {
+		return false
+	}
+	pq.queue = append(pq.queue, r)
+	pq.pending[r.addr] = struct{}{}
+	return true
+}
+
+// Containers without buffer vocabulary are out of scope.
+func plainSliceGrowth(out []request, r request) []request {
+	out = append(out, r)
+	return out
+}
+
+// Replacing the whole container is not an insert.
+func resetQueue(pq *prefetchQueue) {
+	pq.queue = nil
+	pq.pending = map[uint64]struct{}{}
+}

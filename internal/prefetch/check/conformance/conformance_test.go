@@ -9,6 +9,7 @@ import (
 	"pmp/internal/mem"
 	"pmp/internal/prefetch"
 	"pmp/internal/prefetch/check/conformance"
+	"pmp/internal/prefetchers/nextline"
 )
 
 // TestAllRegisteredPrefetchers runs the contract harness over every
@@ -82,6 +83,49 @@ func (unalignedIssuer) Issue(max int) []prefetch.Request {
 }
 
 func (unalignedIssuer) StorageBits() int { return 8 }
+
+// TestTimelinessAllRegisteredPrefetchers runs the late-fill timeliness
+// scenario over every prefetcher in the registry: on a widely spaced
+// stream, a prefetcher that consumes prefetches must get at least some
+// of them filled before the demand arrives.
+func TestTimelinessAllRegisteredPrefetchers(t *testing.T) {
+	for _, name := range bench.Names() {
+		t.Run(name, func(t *testing.T) {
+			conformance.RunTimeliness(t, func() prefetch.Prefetcher { return bench.NewPrefetcher(name) })
+		})
+	}
+}
+
+// TestTimelinessAcceptsTimelyPrefetcher pins the scenario's pass side:
+// a plain next-line prefetcher on the wide-gap stream has hundreds of
+// cycles of slack and must not be flagged.
+func TestTimelinessAcceptsTimelyPrefetcher(t *testing.T) {
+	rec := &recorder{}
+	conformance.RunTimeliness(rec, func() prefetch.Prefetcher { return nextline.New(2) })
+	if len(rec.violations) != 0 {
+		t.Fatalf("timely prefetcher flagged: %v", rec.violations)
+	}
+}
+
+// TestTimelinessCatchesLateFills is the meta-test: with DRAM slowed so
+// far that no fill can complete inside the run, every used prefetch is
+// late and the scenario must fail.
+func TestTimelinessCatchesLateFills(t *testing.T) {
+	cfg := conformance.TimelinessConfig()
+	cfg.DRAM.LatencyCycles = 5_000_000
+	rec := &recorder{}
+	conformance.RunTimelinessAt(rec, func() prefetch.Prefetcher { return nextline.New(2) }, cfg)
+	found := false
+	for _, v := range rec.violations {
+		if strings.Contains(v, "none filled before its demand") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("scenario missed an all-late prefetcher; violations: %v", rec.violations)
+	}
+}
 
 func TestHarnessCatchesUnalignedTarget(t *testing.T) {
 	rec := &recorder{}

@@ -1,0 +1,15 @@
+package conformance
+
+import (
+	"pmp/internal/prefetch"
+	"pmp/internal/sim"
+)
+
+// RunTimelinessAt exposes the timeliness scenario with a custom system
+// configuration so the harness's own tests can force late fills.
+func RunTimelinessAt(t TB, mk func() prefetch.Prefetcher, cfg sim.Config) {
+	runTimeliness(t, mk, cfg)
+}
+
+// TimelinessConfig returns the configuration RunTimeliness uses.
+func TimelinessConfig() sim.Config { return timelinessConfig() }

@@ -66,6 +66,40 @@ func (m *Multicore) broadcastInvalidate(line mem.Addr) {
 	}
 }
 
+// EnableLifecycleTracing turns on per-request prefetch lifecycle
+// tracking on every core (see System.EnableLifecycleTracing). The
+// shared LLC fans its lifecycle events out to every core's tracker;
+// each tracker resolves only the requests it issued, so per-core
+// snapshots stay attributable. When two cores race a prefetch for the
+// same LLC line, both lifecycles resolve on the same event — a small
+// over-count that keeps the trackers independent. The optional sink is
+// shared by all cores.
+func (m *Multicore) EnableLifecycleTracing(sink func(LifecycleEvent)) {
+	hooks := make([]func(cache.PrefetchEvent), len(m.cores))
+	for i, s := range m.cores {
+		s.EnableLifecycleTracing(sink)
+		hooks[i] = s.lt.cacheHook(prefetch.LevelLLC)
+	}
+	m.llc.PrefetchTrace = func(ev cache.PrefetchEvent) {
+		for _, h := range hooks {
+			h(ev)
+		}
+	}
+}
+
+// LifecycleSnapshots returns each core's per-prefetcher lifecycle
+// aggregates (nil when tracing is off); AggregateLifecycle sums them.
+func (m *Multicore) LifecycleSnapshots() [][]LifecycleSnapshot {
+	if len(m.cores) == 0 || m.cores[0].lt == nil {
+		return nil
+	}
+	out := make([][]LifecycleSnapshot, len(m.cores))
+	for i, s := range m.cores {
+		out[i] = s.LifecycleSnapshots()
+	}
+	return out
+}
+
 type coreState struct {
 	src        trace.Source
 	warm       bool
@@ -130,6 +164,9 @@ func (m *Multicore) Run(traces []trace.Source) []Result {
 			s.l2c.ResetStats()
 			s.dtlb.ResetStats()
 			s.pfStats = PrefetchIssueStats{}
+			if s.lt != nil {
+				s.lt.reset()
+			}
 			s.statsOn = true
 			s.l1d.EnableStats(true)
 			s.l2c.EnableStats(true)
@@ -159,6 +196,11 @@ func (m *Multicore) Run(traces []trace.Source) []Result {
 		if end >= st.startCycle {
 			cycles = end - st.startCycle
 		}
+		var lifecycle []LifecycleSnapshot
+		if s.lt != nil {
+			s.lt.flushOpen()
+			lifecycle = s.lt.snapshots()
+		}
 		results[i] = Result{
 			Trace:        st.src.Name(),
 			Prefetcher:   s.pf.Name(),
@@ -168,10 +210,11 @@ func (m *Multicore) Run(traces []trace.Source) []Result {
 			L2C:          s.l2c.Stats(),
 			// The LLC and DRAM are shared: their stats describe the
 			// whole mix and repeat in every per-core result.
-			LLC:  m.llc.Stats(),
-			DRAM: m.mem.Stats(),
-			TLB:  s.dtlb.Stats(),
-			PF:   s.pfStats,
+			LLC:       m.llc.Stats(),
+			DRAM:      m.mem.Stats(),
+			TLB:       s.dtlb.Stats(),
+			PF:        s.pfStats,
+			Lifecycle: lifecycle,
 		}
 	}
 	return results

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"pmp/internal/core"
@@ -101,7 +102,7 @@ func TestBaselineRunProducesPlausibleResult(t *testing.T) {
 func TestRunIsDeterministic(t *testing.T) {
 	r1 := NewSystem(quickConfig(), prefetch.Nop{}).Run(streamTrace(30_000))
 	r2 := NewSystem(quickConfig(), prefetch.Nop{}).Run(streamTrace(30_000))
-	if r1 != r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Errorf("identical runs differ:\n%+v\n%+v", r1, r2)
 	}
 }
@@ -292,7 +293,7 @@ func TestMulticoreDeterministic(t *testing.T) {
 	}
 	a, b := run(), run()
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("core %d results differ across identical runs", i)
 		}
 	}

@@ -36,6 +36,11 @@ type Result struct {
 	DRAM dram.Stats
 	TLB  tlb.Stats
 	PF   PrefetchIssueStats
+
+	// Lifecycle holds one snapshot per prefetcher (the L1D-trained
+	// prefetcher, plus the LLC-attached one when present). Nil unless
+	// lifecycle tracing was enabled before Run.
+	Lifecycle []LifecycleSnapshot
 }
 
 // IPC returns instructions per cycle.
@@ -75,6 +80,11 @@ type System struct {
 	pfStats   PrefetchIssueStats
 	statsOn   bool
 	coreIndex uint64 // used by multicore to interleave DRAM channels
+
+	// lt, when non-nil, tracks every prefetch request from issue to
+	// resolution (timely/late/useless/redundant). Nil keeps the hot
+	// path free of tracing work.
+	lt *lifecycleTracker
 
 	// Per-level prefetch queues: staging queues between the prefetcher
 	// and the cache pipeline. An entry is occupied from issue until the
@@ -169,6 +179,30 @@ func (s *System) wireFeedback() {
 // Prefetcher returns the attached L1D prefetcher.
 func (s *System) Prefetcher() prefetch.Prefetcher { return s.pf }
 
+// EnableLifecycleTracing turns on per-request prefetch lifecycle
+// tracking: every prefetch is followed from issue through fill to its
+// first demand use (or untouched death) and classified as timely,
+// late, useless or redundant, aggregated per prefetcher, per cache
+// level and per 4KB region. The optional sink receives one
+// LifecycleEvent per resolved request (pass nil to keep aggregates
+// only). Call before Run; the Result then carries the snapshots.
+func (s *System) EnableLifecycleTracing(sink func(LifecycleEvent)) {
+	s.lt = newLifecycleTracker(sink)
+	s.l1d.PrefetchTrace = s.lt.cacheHook(prefetch.LevelL1)
+	s.l2c.PrefetchTrace = s.lt.cacheHook(prefetch.LevelL2)
+	s.llc.PrefetchTrace = s.lt.cacheHook(prefetch.LevelLLC)
+}
+
+// LifecycleSnapshots returns the current per-prefetcher lifecycle
+// aggregates (nil when tracing is off). Run also stores them in its
+// Result.
+func (s *System) LifecycleSnapshots() []LifecycleSnapshot {
+	if s.lt == nil {
+		return nil
+	}
+	return s.lt.snapshots()
+}
+
 // AttachLLCPrefetcher installs a prefetcher at the LLC. It observes
 // LLC demand accesses (with the PC of the originating load), fills the
 // LLC only, and is notified of LLC evictions. Call before Run.
@@ -192,6 +226,9 @@ func (s *System) resetStats() {
 	s.mem.ResetStats()
 	s.dtlb.ResetStats()
 	s.pfStats = PrefetchIssueStats{}
+	if s.lt != nil {
+		s.lt.reset()
+	}
 }
 
 // Run replays the trace and returns the measured result. The first
@@ -229,6 +266,11 @@ func (s *System) Run(src trace.Source) Result {
 	if endCycle >= startCycle {
 		cycles = endCycle - startCycle
 	}
+	var lifecycle []LifecycleSnapshot
+	if s.lt != nil {
+		s.lt.flushOpen()
+		lifecycle = s.lt.snapshots()
+	}
 	return Result{
 		Trace:        src.Name(),
 		Prefetcher:   s.pf.Name(),
@@ -240,6 +282,7 @@ func (s *System) Run(src trace.Source) Result {
 		DRAM:         s.mem.Stats(),
 		TLB:          s.dtlb.Stats(),
 		PF:           s.pfStats,
+		Lifecycle:    lifecycle,
 	}
 }
 
@@ -347,6 +390,10 @@ func (s *System) fetchLLC(line mem.Addr, t uint64, demand, pf bool, pc uint64) u
 // issueLLCPrefetches drains the LLC-attached prefetcher; its requests
 // always fill the LLC regardless of their nominal level.
 func (s *System) issueLLCPrefetches(now uint64) {
+	src := ""
+	if s.lt != nil {
+		src = s.llcPF.Name()
+	}
 	for budget := s.cfg.LLC.PQSize; budget > 0; budget-- {
 		reqs := s.llcPF.Issue(1)
 		if len(reqs) == 0 {
@@ -354,7 +401,7 @@ func (s *System) issueLLCPrefetches(now uint64) {
 		}
 		r := reqs[0]
 		r.Level = prefetch.LevelLLC
-		if !s.prefetchOne(r, now) {
+		if !s.prefetchOne(r, now, src) {
 			if rq, ok := s.llcPF.(prefetch.Requeuer); ok {
 				rq.Requeue(reqs[0])
 			}
@@ -398,9 +445,13 @@ func (s *System) fillLLC(line mem.Addr, ready uint64, pf bool) {
 // stops this round, leaving the remaining requests in their internal
 // queue for the next access.
 func (s *System) issuePrefetches(now uint64) {
+	src := ""
+	if s.lt != nil {
+		src = s.pf.Name()
+	}
 	if rq, ok := s.pf.(prefetch.Requeuer); ok {
 		for _, r := range s.pf.Issue(s.cfg.L1D.PQSize) {
-			if !s.prefetchOne(r, now) {
+			if !s.prefetchOne(r, now, src) {
 				rq.Requeue(r)
 			}
 		}
@@ -411,7 +462,7 @@ func (s *System) issuePrefetches(now uint64) {
 		if len(reqs) == 0 {
 			return
 		}
-		if !s.prefetchOne(reqs[0], now) {
+		if !s.prefetchOne(reqs[0], now, src) {
 			return
 		}
 	}
@@ -427,22 +478,30 @@ func prefetchRoom(c *cache.Cache, now uint64) bool {
 // reports whether the request was admitted: requests for lines already
 // present or in flight are filtered (admitted, nothing to do); requests
 // without a free prefetch MSHR return false before consuming any
-// downstream bandwidth so the caller can requeue them.
-func (s *System) prefetchOne(r prefetch.Request, now uint64) bool {
+// downstream bandwidth so the caller can requeue them. src names the
+// issuing prefetcher for lifecycle attribution (unused when tracing is
+// off).
+func (s *System) prefetchOne(r prefetch.Request, now uint64, src string) bool {
 	line := r.Addr.Line()
 	switch r.Level {
 	case prefetch.LevelL1:
 		if s.l1d.Contains(line) {
-			s.pfStats.DroppedPQ++
+			s.dropRedundant(r.Level, line, now, src)
 			return true
 		}
 		if _, ok := s.l1d.InFlight(line, now); ok {
-			s.pfStats.DroppedPQ++
+			s.dropRedundant(r.Level, line, now, src)
 			return true
 		}
 		if !s.pq1.free(now) || !prefetchRoom(s.l1d, now) {
 			s.pfStats.DroppedMSH++
 			return false
+		}
+		// Record the issue before the fill walk so the tracker can
+		// match the fill event it triggers. Like the other issue stats,
+		// lifecycles only accumulate inside the measurement window.
+		if s.lt != nil && s.statsOn {
+			s.lt.issued(src, r.Level, line, now)
 		}
 		done := s.fetchL2(line, now+s.cfg.L1D.Latency, false, true, 0)
 		s.l1d.ReserveMSHR(line, now, done, false)
@@ -450,16 +509,19 @@ func (s *System) prefetchOne(r prefetch.Request, now uint64) bool {
 		s.fillL1(line, done, true)
 	case prefetch.LevelL2:
 		if s.l2c.Contains(line) {
-			s.pfStats.DroppedPQ++
+			s.dropRedundant(r.Level, line, now, src)
 			return true
 		}
 		if _, ok := s.l2c.InFlight(line, now); ok {
-			s.pfStats.DroppedPQ++
+			s.dropRedundant(r.Level, line, now, src)
 			return true
 		}
 		if !s.pq2.free(now) || !prefetchRoom(s.l2c, now) {
 			s.pfStats.DroppedMSH++
 			return false
+		}
+		if s.lt != nil && s.statsOn {
+			s.lt.issued(src, r.Level, line, now)
 		}
 		done := s.fetchLLC(line, now+s.cfg.L2C.Latency, false, true, 0)
 		s.l2c.ReserveMSHR(line, now, done, false)
@@ -467,16 +529,19 @@ func (s *System) prefetchOne(r prefetch.Request, now uint64) bool {
 		s.fillL2(line, done, true)
 	case prefetch.LevelLLC:
 		if s.llc.Contains(line) {
-			s.pfStats.DroppedPQ++
+			s.dropRedundant(r.Level, line, now, src)
 			return true
 		}
 		if _, ok := s.llc.InFlight(line, now); ok {
-			s.pfStats.DroppedPQ++
+			s.dropRedundant(r.Level, line, now, src)
 			return true
 		}
 		if !s.pqL.free(now) || !prefetchRoom(s.llc, now) {
 			s.pfStats.DroppedMSH++
 			return false
+		}
+		if s.lt != nil && s.statsOn {
+			s.lt.issued(src, r.Level, line, now)
 		}
 		done := s.mem.Access(line.LineID()+s.coreIndex, now+s.cfg.LLC.Latency, false)
 		s.llc.ReserveMSHR(line, now, done, false)
@@ -489,4 +554,13 @@ func (s *System) prefetchOne(r prefetch.Request, now uint64) bool {
 		s.pfStats.Issued[r.Level]++
 	}
 	return true
+}
+
+// dropRedundant accounts a prefetch filtered at issue (line already
+// present or in flight at its target level).
+func (s *System) dropRedundant(level prefetch.Level, line mem.Addr, now uint64, src string) {
+	s.pfStats.DroppedPQ++
+	if s.lt != nil && s.statsOn {
+		s.lt.redundant(src, level, line, now)
+	}
 }
