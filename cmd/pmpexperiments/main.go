@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pmp/internal/bench"
+	"pmp/internal/prof"
 )
 
 func main() {
@@ -21,7 +22,16 @@ func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all); see -list")
 	listFlag := flag.Bool("list", false, "list experiment IDs and exit")
 	csvDir := flag.String("csv", "", "also write each experiment as <dir>/<ID>.csv")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmpexperiments:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	ids := map[string]string{
 		"T1":   "Table I: pattern collision/duplicate rates",

@@ -18,6 +18,7 @@ import (
 
 	"pmp/internal/analysis"
 	"pmp/internal/bench"
+	"pmp/internal/prof"
 	"pmp/internal/sim"
 	"pmp/internal/trace"
 )
@@ -37,7 +38,16 @@ func main() {
 	lifecycleJSONL := flag.String("lifecycle-jsonl", "", "write one JSON object per resolved prefetch lifecycle to this file (implies -trace-lifecycle)")
 	topRegions := flag.Int("lifecycle-regions", 3, "hottest 4KB regions to list per prefetcher in the lifecycle report")
 	listTraces := flag.Bool("list-traces", false, "list suite trace names and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmpsim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *listTraces {
 		for _, sp := range append(trace.Suite(), trace.ExtraSpecs()...) {

@@ -171,13 +171,13 @@ type PrefetchEvent struct {
 
 // Cache is one set-associative cache level.
 type Cache struct {
-	cfg      Config
-	sets     []line // Sets*Ways, row-major
-	setMask  uint64
-	stamp    uint64
-	statsOn  bool
-	stats    Stats
-	inflight map[mem.Addr]uint64 // line -> completion cycle of outstanding misses
+	cfg     Config
+	sets    []line // Sets*Ways, row-major
+	setMask uint64
+	stamp   uint64
+	statsOn bool
+	stats   Stats
+	mshr    mshrFile // outstanding misses (fixed capacity, see mshr.go)
 
 	// PrefetchOutcome, when non-nil, is invoked the moment a prefetched
 	// line's fate is decided: useful (first demand hit after the
@@ -201,10 +201,10 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	return &Cache{
-		cfg:      cfg,
-		sets:     make([]line, cfg.Sets*cfg.Ways),
-		setMask:  uint64(cfg.Sets - 1),
-		inflight: make(map[mem.Addr]uint64, cfg.MSHRs*2),
+		cfg:     cfg,
+		sets:    make([]line, cfg.Sets*cfg.Ways),
+		setMask: uint64(cfg.Sets - 1),
+		mshr:    newMSHRFile(cfg.MSHRs),
 	}
 }
 
@@ -406,31 +406,16 @@ func (c *Cache) Invalidate(a mem.Addr) bool {
 // Outstanding misses occupy MSHR entries until their completion cycle.
 // A demand miss may always take the last entry; prefetches must leave at
 // least one entry free (paper §IV-B: "at least one MSHR is remained for
-// normal load/store requests").
-
-func (c *Cache) pruneMSHR(now uint64) int {
-	busy := 0
-	for l, done := range c.inflight {
-		if done <= now {
-			delete(c.inflight, l)
-		} else {
-			busy++
-		}
-	}
-	return busy
-}
+// normal load/store requests"). Entries live in a fixed-capacity array
+// (mshr.go) sized by Config.MSHRs.
 
 // MSHRBusy returns the number of occupied MSHR entries at `now`.
-func (c *Cache) MSHRBusy(now uint64) int { return c.pruneMSHR(now) }
+func (c *Cache) MSHRBusy(now uint64) int { return c.mshr.prune(now) }
 
 // InFlight reports whether a miss for the line is already outstanding
 // and, if so, its completion cycle (requests merge onto it).
 func (c *Cache) InFlight(a mem.Addr, now uint64) (uint64, bool) {
-	done, ok := c.inflight[a.Line()]
-	if !ok || done <= now {
-		return 0, false
-	}
-	return done, true
+	return c.mshr.inFlight(a.Line(), now)
 }
 
 // ReserveMSHR allocates an MSHR entry completing at `done` for the line.
@@ -440,21 +425,11 @@ func (c *Cache) InFlight(a mem.Addr, now uint64) (uint64, bool) {
 // placeholder before the hierarchy walk computes the real latency).
 // It reports whether the allocation succeeded.
 func (c *Cache) ReserveMSHR(a mem.Addr, now, done uint64, demand bool) bool {
-	line := a.Line()
-	if _, held := c.inflight[line]; held {
-		c.inflight[line] = done
-		return true
-	}
-	busy := c.pruneMSHR(now)
 	limit := c.cfg.MSHRs
 	if !demand {
 		limit--
 	}
-	if busy >= limit {
-		return false
-	}
-	c.inflight[line] = done
-	return true
+	return c.mshr.reserve(a.Line(), now, done, limit)
 }
 
 // EarliestCompletion returns the soonest completion cycle among
@@ -462,15 +437,7 @@ func (c *Cache) ReserveMSHR(a mem.Addr, now, done uint64, demand bool) bool {
 // flight. The simulator uses it to model a demand request stalling on a
 // full MSHR file.
 func (c *Cache) EarliestCompletion(now uint64) (uint64, bool) {
-	best := ^uint64(0)
-	found := false
-	for _, done := range c.inflight {
-		if done > now && done < best {
-			best = done
-			found = true
-		}
-	}
-	return best, found
+	return c.mshr.earliest(now)
 }
 
 // Flush invalidates every line and clears in-flight state (used between
@@ -479,6 +446,6 @@ func (c *Cache) Flush() {
 	for i := range c.sets {
 		c.sets[i] = line{}
 	}
-	clear(c.inflight)
+	c.mshr.reset()
 	c.stamp = 0
 }

@@ -1,0 +1,103 @@
+package cache
+
+import "pmp/internal/mem"
+
+// mshrFile tracks outstanding misses in a fixed-capacity array sized
+// by Config.MSHRs, replacing the map the cache used previously. The
+// simulator probes MSHR occupancy on every prefetch admission
+// (prefetchRoom -> MSHRBusy), which made map iteration the single
+// hottest path in whole-system profiles; a real MSHR file is a handful
+// of SRAM entries searched associatively, and modelling it as a small
+// linear-scan array is both faster and closer to the hardware.
+//
+// Semantics mirror the map exactly (the simulator's outputs are
+// bit-identical): an entry persists — even past its completion cycle —
+// until a prune (MSHRBusy or a capacity check inside reserve) removes
+// it, and reserving a line that still has an entry refreshes the
+// completion time without a capacity check.
+type mshrEntry struct {
+	line mem.Addr
+	done uint64 // completion cycle
+}
+
+type mshrFile struct {
+	slots []mshrEntry // entries [0:n] are occupied
+	n     int
+}
+
+// newMSHRFile sizes the file for `capacity` simultaneous misses.
+// Capacity is exact: reserve prunes completed entries before inserting
+// and never admits past the caller's limit, so n <= capacity always.
+func newMSHRFile(capacity int) mshrFile {
+	return mshrFile{slots: make([]mshrEntry, capacity)}
+}
+
+// find returns the slot index holding line, or -1. Stale entries
+// (done in the past) are found too, matching the map's behaviour.
+func (m *mshrFile) find(line mem.Addr) int {
+	for i := 0; i < m.n; i++ {
+		if m.slots[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// prune drops entries whose completion is at or before now and returns
+// the number still busy.
+func (m *mshrFile) prune(now uint64) int {
+	for i := 0; i < m.n; {
+		if m.slots[i].done <= now {
+			m.n--
+			m.slots[i] = m.slots[m.n]
+		} else {
+			i++
+		}
+	}
+	return m.n
+}
+
+// inFlight reports whether a miss for the line is outstanding strictly
+// after now, and its completion cycle.
+func (m *mshrFile) inFlight(line mem.Addr, now uint64) (uint64, bool) {
+	i := m.find(line)
+	if i < 0 || m.slots[i].done <= now {
+		return 0, false
+	}
+	return m.slots[i].done, true
+}
+
+// reserve allocates (or refreshes) the entry for line with completion
+// `done`, admitting at most `limit` busy entries at `now`. A line that
+// already holds an entry is refreshed unconditionally — the demand
+// path reserves a placeholder before the hierarchy walk computes the
+// real latency.
+func (m *mshrFile) reserve(line mem.Addr, now, done uint64, limit int) bool {
+	if i := m.find(line); i >= 0 {
+		m.slots[i].done = done
+		return true
+	}
+	if m.prune(now) >= limit {
+		return false
+	}
+	m.slots[m.n] = mshrEntry{line: line, done: done}
+	m.n++
+	return true
+}
+
+// earliest returns the soonest completion strictly after now, or false
+// when none is in flight.
+func (m *mshrFile) earliest(now uint64) (uint64, bool) {
+	best := ^uint64(0)
+	found := false
+	for i := 0; i < m.n; i++ {
+		if d := m.slots[i].done; d > now && d < best {
+			best = d
+			found = true
+		}
+	}
+	return best, found
+}
+
+// reset discards every entry.
+func (m *mshrFile) reset() { m.n = 0 }

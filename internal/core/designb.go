@@ -190,6 +190,11 @@ func (d *DesignB) predict(trig sms.Trigger) {
 // Issue implements prefetch.Prefetcher.
 func (d *DesignB) Issue(max int) []prefetch.Request { return d.pb.Drain(max) }
 
+// IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+func (d *DesignB) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
+	return d.pb.DrainInto(dst, max)
+}
+
 // Requeue implements prefetch.Requeuer.
 func (d *DesignB) Requeue(r prefetch.Request) {
 	d.pb.Requeue(d.region.ID(r.Addr), d.region.Offset(r.Addr))

@@ -114,14 +114,24 @@ func (pb *prefetchBuffer) Drain(max int) []prefetch.Request {
 	if max <= 0 {
 		return nil
 	}
-	var out []prefetch.Request
-	for len(out) < max {
+	return pb.DrainInto(nil, max)
+}
+
+// DrainInto emits up to max requests like Drain, appending them to the
+// caller-owned dst: the allocation-free fast path behind
+// prefetch.BulkIssuer.
+func (pb *prefetchBuffer) DrainInto(dst []prefetch.Request, max int) []prefetch.Request {
+	if max <= 0 {
+		return dst
+	}
+	emitted := 0
+	for emitted < max {
 		e := pb.mruPending()
 		if e == nil {
 			break
 		}
 		for _, k := range pb.order {
-			if len(out) >= max {
+			if emitted >= max {
 				break
 			}
 			if e.issued[k] || e.levels[k] == prefetch.LevelNone {
@@ -135,16 +145,17 @@ func (pb *prefetchBuffer) Drain(max int) []prefetch.Request {
 			if raw >= n && pb.crossRegion {
 				regionID++ // project forward instead of wrapping back
 			}
-			out = append(out, prefetch.Request{
+			dst = append(dst, prefetch.Request{
 				Addr:  pb.region.LineAddr(regionID, raw%n),
 				Level: e.levels[k],
 			})
+			emitted++
 		}
 		// Fully drained entries stay resident: the system may hand
 		// requests back via Requeue when MSHRs are full, and draining
 		// resumes on the next access to the region.
 	}
-	return out
+	return dst
 }
 
 // Requeue re-arms the target at (region, offset) so a later Drain

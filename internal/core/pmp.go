@@ -26,8 +26,11 @@ type PMP struct {
 	ext    extractor
 	pb     *prefetchBuffer
 
-	opt []*mem.CounterVector // primary table (trigger-offset indexed)
-	ppt []*mem.CounterVector // supplement table (PC indexed, coarse)
+	// Pattern tables as dense counter arrays: contiguous backing
+	// storage keeps the per-trigger probe to one indexed load instead
+	// of a pointer chase through per-vector heap objects.
+	opt *mem.CounterTable // primary table (trigger-offset indexed)
+	ppt *mem.CounterTable // supplement table (PC indexed, coarse)
 
 	// scratch buffers reused across predictions
 	optLevels []prefetch.Level
@@ -74,27 +77,19 @@ func New(cfg Config) *PMP {
 	p.pb.crossRegion = cfg.CrossRegion
 	switch cfg.Feature {
 	case DualTables:
-		p.opt = newTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
-		p.ppt = newTable(1<<cfg.PCBits, cfg.PPTLen(), cfg.PPTCounterBits)
+		p.opt = mem.NewCounterTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
+		p.ppt = mem.NewCounterTable(1<<cfg.PCBits, cfg.PPTLen(), cfg.PPTCounterBits)
 		p.pptLevels = make([]prefetch.Level, cfg.PPTLen())
 	case OPTOnly:
-		p.opt = newTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
+		p.opt = mem.NewCounterTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
 	case PPTOnly:
 		// Sized like the OPT (§V-E3), indexed by hashed PC, full length.
-		p.ppt = newTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
+		p.ppt = mem.NewCounterTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
 		p.pptLevels = make([]prefetch.Level, n)
 	case Combined:
-		p.opt = newTable(1<<(cfg.TriggerBits+cfg.PCBits), n, cfg.OPTCounterBits)
+		p.opt = mem.NewCounterTable(1<<(cfg.TriggerBits+cfg.PCBits), n, cfg.OPTCounterBits)
 	}
 	return p
-}
-
-func newTable(entries, length, bits int) []*mem.CounterVector {
-	t := make([]*mem.CounterVector, entries)
-	for i := range t {
-		t[i] = mem.NewCounterVector(length, bits)
-	}
-	return t
 }
 
 // Name implements prefetch.Prefetcher.
@@ -154,15 +149,15 @@ func (p *PMP) merge(pat sms.Pattern) {
 	anchored := pat.Anchored()
 	switch p.cfg.Feature {
 	case DualTables:
-		p.mergeInto(p.opt[p.triggerIndex(pat.TriggerAddr)], anchored)
-		p.mergeInto(p.ppt[p.pcIndex(pat.PC)], anchored.Fold(p.cfg.MonitoringRange))
+		p.mergeInto(p.opt.Row(p.triggerIndex(pat.TriggerAddr)), anchored)
+		p.mergeInto(p.ppt.Row(p.pcIndex(pat.PC)), anchored.Fold(p.cfg.MonitoringRange))
 	case OPTOnly:
-		p.mergeInto(p.opt[p.triggerIndex(pat.TriggerAddr)], anchored)
+		p.mergeInto(p.opt.Row(p.triggerIndex(pat.TriggerAddr)), anchored)
 	case PPTOnly:
-		p.mergeInto(p.ppt[mem.HashPC(pat.PC, p.cfg.TriggerBits)], anchored)
+		p.mergeInto(p.ppt.Row(int(mem.HashPC(pat.PC, p.cfg.TriggerBits))), anchored)
 	case Combined:
 		idx := p.pcIndex(pat.PC)<<p.cfg.TriggerBits | p.triggerIndex(pat.TriggerAddr)
-		p.mergeInto(p.opt[idx], anchored)
+		p.mergeInto(p.opt.Row(idx), anchored)
 	}
 }
 
@@ -183,18 +178,18 @@ func (p *PMP) predict(trig sms.Trigger) {
 	p.stats.Predictions++
 	switch p.cfg.Feature {
 	case DualTables:
-		p.ext.Extract(p.opt[p.triggerIndex(trig.Addr)], p.optLevels)
-		p.ext.Extract(p.ppt[p.pcIndex(trig.PC)], p.pptLevels)
+		p.ext.Extract(p.opt.Row(p.triggerIndex(trig.Addr)), p.optLevels)
+		p.ext.Extract(p.ppt.Row(p.pcIndex(trig.PC)), p.pptLevels)
 		p.arbitrate()
 	case OPTOnly:
-		p.ext.Extract(p.opt[p.triggerIndex(trig.Addr)], p.optLevels)
+		p.ext.Extract(p.opt.Row(p.triggerIndex(trig.Addr)), p.optLevels)
 		copy(p.final, p.optLevels)
 	case PPTOnly:
-		p.ext.Extract(p.ppt[mem.HashPC(trig.PC, p.cfg.TriggerBits)], p.pptLevels)
+		p.ext.Extract(p.ppt.Row(int(mem.HashPC(trig.PC, p.cfg.TriggerBits))), p.pptLevels)
 		copy(p.final, p.pptLevels)
 	case Combined:
 		idx := p.pcIndex(trig.PC)<<p.cfg.TriggerBits | p.triggerIndex(trig.Addr)
-		p.ext.Extract(p.opt[idx], p.optLevels)
+		p.ext.Extract(p.opt.Row(idx), p.optLevels)
 		copy(p.final, p.optLevels)
 	}
 	p.capLowLevel()
@@ -261,6 +256,11 @@ func (p *PMP) capLowLevel() {
 // Issue implements prefetch.Prefetcher.
 func (p *PMP) Issue(max int) []prefetch.Request {
 	return p.pb.Drain(max)
+}
+
+// IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+func (p *PMP) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
+	return p.pb.DrainInto(dst, max)
 }
 
 // Requeue implements prefetch.Requeuer: an unadmitted request returns

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ConfigBounds validates literal field values in *Config composite
+// literals against the legal ranges the simulator's constructors
+// enforce at run time (internal/core/config.go, internal/cache,
+// internal/sim). Experiment sweeps build many configs from literals;
+// an out-of-range value either panics deep inside a harness run or —
+// worse — silently models impossible hardware (a 3-way set index, a
+// 100-line prefetch degree no issue budget can consume). Checking the
+// literals statically moves the failure to lint time.
+//
+// Enforced bounds, keyed by field name within any struct type named
+// "...Config":
+//
+//   - ...Sets        positive power of two (set index is a bit mask)
+//   - ...Ways        >= 1
+//   - MSHRs          >= 1
+//   - PQSize         >= 0
+//   - PBEntries      >= 1
+//   - RegionBytes    power of two in [128, 4096] (two lines .. one page)
+//   - TriggerBits    in [1, 12]; >= log2(lines/region) when RegionBytes
+//     is literal in the same composite
+//   - PCBits         in [1, 16]
+//   - ...CounterBits in [1, 16]
+//   - MonitoringRange >= 1; divides lines/region when RegionBytes is
+//     literal in the same composite
+//   - ...Degree...   in [0, 64] (a region covers at most 64 lines, so
+//     larger degrees exceed any issue budget)
+var ConfigBounds = &Analyzer{
+	Name: "configbounds",
+	Doc: "validates literal fields of *Config composite literals against the ranges " +
+		"the constructors enforce (power-of-two geometry, bit widths, issue-budget caps)",
+	Run: runConfigBounds,
+}
+
+func runConfigBounds(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isConfigStruct(pass.Pkg.Info, cl) {
+				return true
+			}
+			checkConfigLiteral(pass, cl)
+			return true
+		})
+	}
+}
+
+// isConfigStruct reports whether the composite literal builds a struct
+// whose named type ends in "Config" (cache.Config, core.Config,
+// bingo.Config, ...).
+func isConfigStruct(info *types.Info, cl *ast.CompositeLit) bool {
+	tv, ok := info.Types[cl]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Name(), "Config")
+}
+
+// literalFields extracts the integer-constant keyed elements of the
+// composite literal: field name -> (value, expr).
+type literalField struct {
+	val  int64
+	expr ast.Expr
+}
+
+func checkConfigLiteral(pass *Pass, cl *ast.CompositeLit) {
+	fields := map[string]literalField{}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.Pkg.Info.Types[kv.Value]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			continue
+		}
+		v, ok := constant.Int64Val(tv.Value)
+		if !ok {
+			continue
+		}
+		fields[key.Name] = literalField{val: v, expr: kv.Value}
+	}
+
+	// lines/region, when derivable from a literal RegionBytes in the
+	// same composite (64-byte lines throughout the repo).
+	patternLen := 0
+	if rb, ok := fields["RegionBytes"]; ok && rb.val >= 128 && rb.val <= 4096 && rb.val&(rb.val-1) == 0 {
+		patternLen = int(rb.val / 64)
+	}
+
+	for name, f := range fields {
+		switch {
+		case strings.HasSuffix(name, "Sets"):
+			if f.val < 1 || f.val&(f.val-1) != 0 {
+				pass.Reportf(f.expr.Pos(), "%s must be a positive power of two (set index is a bit mask), got %d", name, f.val)
+			}
+		case strings.HasSuffix(name, "Ways"):
+			if f.val < 1 {
+				pass.Reportf(f.expr.Pos(), "%s must be >= 1, got %d", name, f.val)
+			}
+		case name == "MSHRs" || name == "PBEntries":
+			if f.val < 1 {
+				pass.Reportf(f.expr.Pos(), "%s must be >= 1, got %d", name, f.val)
+			}
+		case name == "PQSize":
+			if f.val < 0 {
+				pass.Reportf(f.expr.Pos(), "%s must be >= 0, got %d", name, f.val)
+			}
+		case name == "RegionBytes":
+			if f.val < 128 || f.val > 4096 || f.val&(f.val-1) != 0 {
+				pass.Reportf(f.expr.Pos(), "RegionBytes must be a power of two in [128, 4096] (two lines to one page), got %d", f.val)
+			}
+		case name == "TriggerBits":
+			if f.val < 1 || f.val > 12 {
+				pass.Reportf(f.expr.Pos(), "TriggerBits must be in [1, 12], got %d", f.val)
+			} else if patternLen > 0 && f.val < int64(log2int(patternLen)) {
+				pass.Reportf(f.expr.Pos(), "TriggerBits %d cannot index the %d lines per region (need >= %d)",
+					f.val, patternLen, log2int(patternLen))
+			}
+		case name == "PCBits":
+			if f.val < 1 || f.val > 16 {
+				pass.Reportf(f.expr.Pos(), "PCBits must be in [1, 16], got %d", f.val)
+			}
+		case strings.HasSuffix(name, "CounterBits"):
+			if f.val < 1 || f.val > 16 {
+				pass.Reportf(f.expr.Pos(), "%s must be in [1, 16], got %d", name, f.val)
+			}
+		case name == "MonitoringRange":
+			if f.val < 1 {
+				pass.Reportf(f.expr.Pos(), "MonitoringRange must be >= 1, got %d", f.val)
+			} else if patternLen > 0 && patternLen%int(f.val) != 0 {
+				pass.Reportf(f.expr.Pos(), "MonitoringRange %d must divide the %d lines per region", f.val, patternLen)
+			}
+		case strings.Contains(name, "Degree"):
+			if f.val < 0 || f.val > 64 {
+				pass.Reportf(f.expr.Pos(), "%s must be in [0, 64] (a region covers at most 64 lines), got %d", name, f.val)
+			}
+		}
+	}
+}
+
+// log2int returns floor(log2(v)) for v >= 1.
+func log2int(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,8 +1,8 @@
 // Package lint is a self-contained static-analysis framework plus the
 // pmplint analyzer suite that enforces this repository's simulator
 // invariants (line-aligned geometry arithmetic, saturating-counter
-// discipline, cycle-math underflow safety, and the prefetch.Prefetcher
-// implementation contract).
+// discipline, cycle-math underflow safety, configuration-literal
+// bounds, and the prefetch.Prefetcher implementation contract).
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API shape
 // (Analyzer / Pass / Diagnostic) but is built only on the standard
@@ -79,6 +79,7 @@ func Analyzers() []*Analyzer {
 		SatCounter,
 		Capacity,
 		PrefetcherImpl,
+		ConfigBounds,
 	}
 }
 

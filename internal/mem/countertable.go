@@ -1,0 +1,60 @@
+package mem
+
+// CounterTable is a dense 2D array of saturating counters: `entries`
+// CounterVector rows of equal length sharing one contiguous backing
+// slice. PMP's pattern tables are thousands of short vectors that are
+// indexed on every trigger access; storing them as individual
+// heap-allocated *CounterVector values (one pointer dereference plus
+// one cache miss per probe, plus per-vector allocator overhead) costs
+// measurably more than a flat array. The table hands out stable
+// *CounterVector views into the backing store, so all existing
+// CounterVector operations (Merge, Halve, Frequency, ...) work
+// unchanged on rows.
+type CounterTable struct {
+	rows []CounterVector
+	back []uint32
+	bits int
+}
+
+// NewCounterTable returns a zeroed table of `entries` rows, each a
+// CounterVector of `length` counters `bits` wide. Bounds match
+// NewCounterVector (length in [1, 64], bits in [1, 31]); entries must
+// be positive.
+func NewCounterTable(entries, length, bits int) *CounterTable {
+	if entries < 1 {
+		panic("mem: counter table needs at least one entry")
+	}
+	if length < 1 || length > 64 {
+		panic("mem: counter vector length must be in [1, 64]")
+	}
+	if bits < 1 || bits > 31 {
+		panic("mem: counter bits must be in [1, 31]")
+	}
+	back := make([]uint32, entries*length)
+	rows := make([]CounterVector, entries)
+	maxVal := uint32(1)<<uint(bits) - 1
+	for i := range rows {
+		rows[i] = CounterVector{
+			c:    back[i*length : (i+1)*length : (i+1)*length],
+			max:  maxVal,
+			bits: bits,
+		}
+	}
+	return &CounterTable{rows: rows, back: back, bits: bits}
+}
+
+// Entries returns the number of rows.
+func (t *CounterTable) Entries() int { return len(t.rows) }
+
+// Row returns the i'th row as a live view: mutations through the
+// returned vector update the table. The pointer is stable for the
+// table's lifetime.
+func (t *CounterTable) Row(i int) *CounterVector { return &t.rows[i] }
+
+// Reset zeroes every counter in the table.
+func (t *CounterTable) Reset() {
+	clear(t.back)
+}
+
+// StorageBits returns the hardware cost of the whole table in bits.
+func (t *CounterTable) StorageBits() int { return len(t.back) * t.bits }

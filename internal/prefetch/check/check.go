@@ -101,6 +101,38 @@ func (c *Checker) Issue(max int) []prefetch.Request {
 	return reqs
 }
 
+// IssueInto implements prefetch.BulkIssuer with the same assertions as
+// Issue, additionally checking that dst's existing contents are
+// preserved. When the inner prefetcher does not implement BulkIssuer
+// the checker falls back to Issue — safe to expose unconditionally,
+// since the bulk path must produce exactly what Issue produces (unlike
+// Requeuer, whose presence changes the simulator's issue policy).
+func (c *Checker) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
+	base := len(dst)
+	out := prefetch.IssueInto(c.inner, dst, max)
+	if len(out) < base {
+		c.report("contract: IssueInto shrank dst from %d to %d entries", base, len(out))
+		return out
+	}
+	reqs := out[base:]
+	if max <= 0 && len(reqs) > 0 {
+		c.report("contract: IssueInto(dst, %d) appended %d requests, want none for max <= 0", max, len(reqs))
+	} else if len(reqs) > max {
+		c.report("contract: IssueInto(dst, %d) appended %d requests (over budget)", max, len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Addr.Line() != r.Addr {
+			c.report("contract: IssueInto request %d target %#x is not line-aligned", i, uint64(r.Addr))
+		}
+		switch r.Level {
+		case prefetch.LevelL1, prefetch.LevelL2, prefetch.LevelLLC:
+		default:
+			c.report("contract: IssueInto request %d has invalid level %d (must be L1/L2/LLC)", i, r.Level)
+		}
+	}
+	return out
+}
+
 // OnEvict implements prefetch.Prefetcher.
 func (c *Checker) OnEvict(line mem.Addr) { c.inner.OnEvict(line) }
 

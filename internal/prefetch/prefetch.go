@@ -103,6 +103,36 @@ type Prefetcher interface {
 	StorageBits() int
 }
 
+// BulkIssuer is the allocation-free fast path of Issue: instead of
+// returning a fresh slice per call, the prefetcher appends up to max
+// requests to the caller-owned dst and returns the extended slice. The
+// simulator drains every prefetcher through IssueInto with a reused
+// per-system scratch buffer, so a steady-state simulated access
+// performs no heap allocation on the issue path.
+//
+// Implementations must behave exactly like Issue: same requests, same
+// order, at most max appended (none when max <= 0). Issue itself
+// should remain correct — the idiomatic shim is
+//
+//	func (p *Prefetcher) Issue(max int) []prefetch.Request {
+//		return p.IssueInto(nil, max)
+//	}
+type BulkIssuer interface {
+	// IssueInto appends up to max requests to dst and returns it.
+	IssueInto(dst []Request, max int) []Request
+}
+
+// IssueInto drains up to max requests from p into dst, using the
+// allocation-free BulkIssuer fast path when p implements it and
+// falling back to Issue (one allocation per call) otherwise, so
+// third-party prefetchers keep working unmodified.
+func IssueInto(p Prefetcher, dst []Request, max int) []Request {
+	if b, ok := p.(BulkIssuer); ok {
+		return b.IssueInto(dst, max)
+	}
+	return append(dst, p.Issue(max)...)
+}
+
 // Requeuer is implemented by prefetchers that can take back a request
 // the memory system could not admit (prefetch queue or MSHRs full).
 // Requeued requests are retried when slots free up — the paper's
@@ -123,6 +153,11 @@ func (Nop) Name() string { return "none" }
 func (Nop) Train(Access) {}
 
 // Issue implements Prefetcher.
+//
+// Nop deliberately does not implement BulkIssuer: test doubles embed
+// Nop and override Issue, and a promoted IssueInto would silently
+// bypass their override. The IssueInto fallback path appends Issue's
+// nil result, which allocates nothing either way.
 func (Nop) Issue(int) []Request { return nil }
 
 // OnEvict implements Prefetcher.

@@ -16,6 +16,7 @@ type OutQueue struct {
 // prefetcher simply stalls generation).
 func NewOutQueue(capacity int) *OutQueue {
 	return &OutQueue{
+		q:       make([]Request, 0, max(capacity, 0)),
 		pending: make(map[mem.Addr]struct{}, capacity),
 		cap:     capacity,
 	}
@@ -44,14 +45,24 @@ func (q *OutQueue) Pop(max int) []Request {
 	if max <= 0 || len(q.q) == 0 {
 		return nil
 	}
+	return q.PopInto(nil, max)
+}
+
+// PopInto dequeues up to max requests in FIFO order, appending them to
+// dst. Unlike Pop it performs no allocation when dst has capacity, so
+// a steady-state Push/PopInto cycle against a reused buffer is
+// allocation-free.
+func (q *OutQueue) PopInto(dst []Request, max int) []Request {
+	if max <= 0 || len(q.q) == 0 {
+		return dst
+	}
 	n := min(max, len(q.q))
-	out := make([]Request, n)
-	copy(out, q.q[:n])
-	q.q = q.q[:copy(q.q, q.q[n:])]
-	for _, r := range out {
+	for _, r := range q.q[:n] {
 		delete(q.pending, r.Addr)
 	}
-	return out
+	dst = append(dst, q.q[:n]...)
+	q.q = q.q[:copy(q.q, q.q[n:])]
+	return dst
 }
 
 // Reset discards all queued requests.

@@ -1,0 +1,67 @@
+package prefetch
+
+import (
+	"testing"
+
+	"pmp/internal/mem"
+)
+
+// The issue path drains every prefetcher through OutQueue.PopInto with
+// a reused buffer; a steady-state Push/PopInto cycle must therefore be
+// allocation-free once the queue's backing slice has grown.
+
+func TestOutQueuePopIntoAppends(t *testing.T) {
+	q := NewOutQueue(4)
+	for i := 0; i < 4; i++ {
+		q.Push(Request{Addr: mem.Addr(i * 64), Level: LevelL1})
+	}
+	dst := []Request{{Addr: 4096, Level: LevelL2}}
+	dst = q.PopInto(dst, 2)
+	if len(dst) != 3 {
+		t.Fatalf("PopInto appended %d requests, want 2 after the seed entry", len(dst)-1)
+	}
+	if dst[0].Addr != 4096 {
+		t.Errorf("PopInto clobbered existing dst contents: %+v", dst[0])
+	}
+	if dst[1].Addr != 0 || dst[2].Addr != 64 {
+		t.Errorf("PopInto order wrong: got %+v", dst[1:])
+	}
+	if q.Len() != 2 {
+		t.Errorf("queue should retain 2 requests, has %d", q.Len())
+	}
+	// Drained lines must be re-pushable (dedup entry released).
+	if !q.Push(Request{Addr: 0, Level: LevelL1}) {
+		t.Error("drained line rejected as duplicate")
+	}
+}
+
+func TestOutQueuePushPopIntoDoesNotAllocate(t *testing.T) {
+	q := NewOutQueue(8)
+	buf := make([]Request, 0, 8)
+	addr := mem.Addr(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 8; i++ {
+			q.Push(Request{Addr: addr, Level: LevelL1})
+			addr += 64
+		}
+		buf = q.PopInto(buf[:0], 8)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Push/PopInto allocates %.3f allocs/cycle, want 0", avg)
+	}
+	// Pop (the compatibility shim) must still allocate at most the one
+	// result slice.
+	q.Push(Request{Addr: addr, Level: LevelL1})
+	if got := q.Pop(1); len(got) != 1 {
+		t.Fatalf("Pop after PopInto cycles returned %d requests, want 1", len(got))
+	}
+}
+
+func TestIssueIntoFallback(t *testing.T) {
+	// Nop does not implement BulkIssuer: the dispatch helper must fall
+	// back to Issue and leave dst untouched.
+	dst := make([]Request, 0, 4)
+	if got := IssueInto(Nop{}, dst, 4); len(got) != 0 {
+		t.Errorf("IssueInto(Nop) returned %d requests, want 0", len(got))
+	}
+}

@@ -254,6 +254,11 @@ func (p *Prefetcher) predict(trig sms.Trigger) {
 // Issue implements prefetch.Prefetcher.
 func (p *Prefetcher) Issue(max int) []prefetch.Request { return p.q.Pop(max) }
 
+// IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+func (p *Prefetcher) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
+	return p.q.PopInto(dst, max)
+}
+
 // StorageBits implements prefetch.Prefetcher: the PHT dominates — each
 // entry holds a 30b long tag, the pattern bit vector and LRU state. The
 // enhanced 16K-entry configuration lands near the paper's Table V

@@ -173,6 +173,11 @@ func (p *Prefetcher) predict(trig sms.Trigger) {
 // Issue implements prefetch.Prefetcher.
 func (p *Prefetcher) Issue(max int) []prefetch.Request { return p.q.Pop(max) }
 
+// IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+func (p *Prefetcher) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
+	return p.q.PopInto(dst, max)
+}
+
 // StorageBits implements prefetch.Prefetcher: dual bit vectors plus a
 // training counter per SPT entry, plus the capture framework.
 func (p *Prefetcher) StorageBits() int {

@@ -193,6 +193,11 @@ func (p *Prefetcher) update(s1, s2 uint32, action int, target float64) {
 // Issue implements prefetch.Prefetcher.
 func (p *Prefetcher) Issue(max int) []prefetch.Request { return p.out.Pop(max) }
 
+// IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+func (p *Prefetcher) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
+	return p.out.PopInto(dst, max)
+}
+
 // OnEvict implements prefetch.Prefetcher.
 func (p *Prefetcher) OnEvict(mem.Addr) {}
 

@@ -142,6 +142,11 @@ func (p *Prefetcher) Train(a prefetch.Access) {
 // Issue implements prefetch.Prefetcher.
 func (p *Prefetcher) Issue(max int) []prefetch.Request { return p.q.Pop(max) }
 
+// IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+func (p *Prefetcher) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
+	return p.q.PopInto(dst, max)
+}
+
 // OnEvict implements prefetch.Prefetcher.
 func (p *Prefetcher) OnEvict(mem.Addr) {}
 

@@ -153,6 +153,11 @@ func (p *Prefetcher) predict(trig sms.Trigger) {
 // Issue implements prefetch.Prefetcher.
 func (p *Prefetcher) Issue(max int) []prefetch.Request { return p.q.Pop(max) }
 
+// IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+func (p *Prefetcher) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
+	return p.q.PopInto(dst, max)
+}
+
 // StorageBits implements prefetch.Prefetcher.
 func (p *Prefetcher) StorageBits() int {
 	entry := 30 + p.region.Lines() + log2(p.cfg.PHTWays)

@@ -1,0 +1,56 @@
+// Package prof wires the standard runtime/pprof collectors into the
+// command-line tools. Both pmpsim and pmpexperiments expose
+// -cpuprofile/-memprofile flags backed by Start, so any simulation the
+// repo can run can also be profiled:
+//
+//	pmpsim -pf pmp -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges for a heap
+// profile to be written to memPath when the returned stop function
+// runs. Either path may be empty to skip that profile. Callers must
+// invoke stop exactly once on every non-error return, normally via
+// defer immediately after checking err.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // flush recently freed objects out of the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -53,6 +53,7 @@ func NewMulticore(cfg Config, prefetchers []prefetch.Prefetcher) *Multicore {
 		s.pq1 = newPQTracker(cfg.L1D.PQSize)
 		s.pq2 = newPQTracker(cfg.L2C.PQSize)
 		s.pqL = newPQTracker(cfg.LLC.PQSize)
+		s.initScratch()
 		m.cores = append(m.cores, s)
 	}
 	return m

@@ -104,6 +104,14 @@ type System struct {
 	// independent walkers keep their memory-level parallelism.
 	prevDone  uint64
 	chainDone [64]uint64
+
+	// Scratch buffers reused by the issue paths so a steady-state
+	// access allocates nothing (see prefetch.BulkIssuer). issueBuf
+	// backs issuePrefetches, issueBufLLC backs issueLLCPrefetches —
+	// separate because an LLC drain can run while a demand access is
+	// still between lookup and issue.
+	issueBuf    []prefetch.Request
+	issueBufLLC []prefetch.Request
 }
 
 // NewSystem builds a system around the prefetcher; it panics on invalid
@@ -127,7 +135,15 @@ func NewSystem(cfg Config, pf prefetch.Prefetcher) *System {
 	s.pq1 = newPQTracker(cfg.L1D.PQSize)
 	s.pq2 = newPQTracker(cfg.L2C.PQSize)
 	s.pqL = newPQTracker(cfg.LLC.PQSize)
+	s.initScratch()
 	return s
+}
+
+// initScratch sizes the issue-path scratch buffers to the largest
+// possible single drain so steady-state appends never grow them.
+func (s *System) initScratch() {
+	s.issueBuf = make([]prefetch.Request, 0, max(s.cfg.L1D.PQSize, 1))
+	s.issueBufLLC = make([]prefetch.Request, 0, max(s.cfg.LLC.PQSize, 1))
 }
 
 // pqTracker bounds in-flight prefetches at one level.
@@ -395,7 +411,8 @@ func (s *System) issueLLCPrefetches(now uint64) {
 		src = s.llcPF.Name()
 	}
 	for budget := s.cfg.LLC.PQSize; budget > 0; budget-- {
-		reqs := s.llcPF.Issue(1)
+		reqs := prefetch.IssueInto(s.llcPF, s.issueBufLLC[:0], 1)
+		s.issueBufLLC = reqs[:0]
 		if len(reqs) == 0 {
 			return
 		}
@@ -450,7 +467,9 @@ func (s *System) issuePrefetches(now uint64) {
 		src = s.pf.Name()
 	}
 	if rq, ok := s.pf.(prefetch.Requeuer); ok {
-		for _, r := range s.pf.Issue(s.cfg.L1D.PQSize) {
+		reqs := prefetch.IssueInto(s.pf, s.issueBuf[:0], s.cfg.L1D.PQSize)
+		s.issueBuf = reqs[:0]
+		for _, r := range reqs {
 			if !s.prefetchOne(r, now, src) {
 				rq.Requeue(r)
 			}
@@ -458,7 +477,8 @@ func (s *System) issuePrefetches(now uint64) {
 		return
 	}
 	for budget := s.cfg.L1D.PQSize; budget > 0; budget-- {
-		reqs := s.pf.Issue(1)
+		reqs := prefetch.IssueInto(s.pf, s.issueBuf[:0], 1)
+		s.issueBuf = reqs[:0]
 		if len(reqs) == 0 {
 			return
 		}

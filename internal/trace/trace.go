@@ -178,20 +178,36 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: reading name: %w", err)
 	}
 	// Do not trust the header's record count for allocation: a corrupt
-	// file must not force a giant up-front slice. Pre-size modestly and
-	// grow only while record data is actually present.
-	recs := make([]Record, 0, min(int(n), 1<<20))
+	// file must not force a giant up-front slice. Read bounded chunks
+	// sized exactly by the data that actually arrives, then concatenate
+	// once — appending into one growing slice instead would re-copy
+	// every already-read record at each doubling (FullScale traces run
+	// to millions of records).
+	const chunkRecords = 1 << 20
+	var chunks [][]Record
 	var rec [19]byte
-	for i := uint32(0); i < n; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+	for read := uint32(0); read < n; {
+		chunk := make([]Record, 0, min(int(n-read), chunkRecords))
+		for len(chunk) < cap(chunk) {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, fmt.Errorf("trace: reading record %d: %w", read, err)
+			}
+			chunk = append(chunk, Record{
+				PC:   binary.LittleEndian.Uint64(rec[0:]),
+				Addr: mem.Addr(binary.LittleEndian.Uint64(rec[8:])),
+				Gap:  binary.LittleEndian.Uint16(rec[16:]),
+				Dep:  DepKind(rec[18]),
+			})
+			read++
 		}
-		recs = append(recs, Record{
-			PC:   binary.LittleEndian.Uint64(rec[0:]),
-			Addr: mem.Addr(binary.LittleEndian.Uint64(rec[8:])),
-			Gap:  binary.LittleEndian.Uint16(rec[16:]),
-			Dep:  DepKind(rec[18]),
-		})
+		chunks = append(chunks, chunk)
+	}
+	if len(chunks) == 1 {
+		return NewTrace(string(name), chunks[0]), nil
+	}
+	recs := make([]Record, 0, int(n))
+	for _, c := range chunks {
+		recs = append(recs, c...)
 	}
 	return NewTrace(string(name), recs), nil
 }
