@@ -1,27 +1,93 @@
 // Command pmpexperiments runs the paper-reproduction experiment
 // harness and prints each table/figure in DESIGN.md's experiment index.
 //
+// All requested experiments are submitted to a shared sweep scheduler
+// up front (see docs/sweep.md): their per-trace simulations execute on
+// one bounded worker pool, identical jobs are deduplicated across
+// experiments, and tables print in index order as their jobs complete.
+// With -store the per-job results persist to an append-only JSONL
+// store, and -resume skips every job already completed there, so an
+// interrupted run (Ctrl-C flushes the store before exit) picks up
+// where it left off. Rendered tables are byte-identical to a serial
+// run at the same scale.
+//
 // Usage:
 //
 //	pmpexperiments [-scale quick|default|full] [-exp ID[,ID...]] [-list]
+//	               [-store file.jsonl [-resume]] [-workers N]
+//	               [-job-timeout d] [-retries N] [-csv dir]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"pmp/internal/bench"
 	"pmp/internal/prof"
+	"pmp/internal/sweep"
 )
+
+// experiment is one registry entry: an experiment ID, its description
+// for -list, and the table builder (bound to a runner/scale in main).
+type experiment struct {
+	id   string
+	desc string
+	run  func() *bench.Table
+}
+
+// registry returns the experiment index in DESIGN.md order.
+func registry(r *bench.Runner, scale bench.Scale) []experiment {
+	return []experiment{
+		{"T1", "Table I: pattern collision/duplicate rates", func() *bench.Table { return bench.TableI(scale) }},
+		{"F2", "Fig 2: pattern frequency concentration", func() *bench.Table { return bench.Fig2(scale) }},
+		{"F4", "Fig 4: ICDD per clustering feature", func() *bench.Table { return bench.Fig4(scale) }},
+		{"F5", "Fig 5: pattern heat maps", func() *bench.Table { return bench.Fig5(scale) }},
+		{"T3", "Tables II/III/V: storage overhead", bench.Storage},
+		{"F8", "Fig 8: single-core NIPC", func() *bench.Table { return bench.Fig8(r) }},
+		{"F9", "Fig 9: coverage and accuracy", func() *bench.Table { return bench.Fig9(r) }},
+		{"F10", "Fig 10: useful/useless prefetches", func() *bench.Table { return bench.Fig10(r) }},
+		{"NMT", "§V-D: normalized memory traffic", func() *bench.Table { return bench.NMT(r) }},
+		{"T8", "Table VIII: Design B ways sweep", func() *bench.Table { return bench.TableVIII(r) }},
+		{"EXT", "§V-E2: extraction schemes", func() *bench.Table { return bench.Extraction(r) }},
+		{"MF", "§V-E3: multi-feature structures", func() *bench.Table { return bench.MultiFeature(r) }},
+		{"T9", "Table IX: pattern length sweep", func() *bench.Table { return bench.TableIX(r) }},
+		{"T10a", "Table X: trigger offset width sweep", func() *bench.Table { return bench.TableXOffsetWidth(r) }},
+		{"T10b", "Table X: counter size sweep", func() *bench.Table { return bench.TableXCounterSize(r) }},
+		{"T11", "Table XI: monitoring range sweep", func() *bench.Table { return bench.TableXI(r) }},
+		{"F12a", "Fig 12a: bandwidth sensitivity", func() *bench.Table { return bench.Fig12Bandwidth(r) }},
+		{"F12b", "Fig 12b: LLC size sensitivity", func() *bench.Table { return bench.Fig12LLC(r) }},
+		{"F13", "Fig 13: 4-core performance", func() *bench.Table { return bench.Fig13(scale) }},
+		{"ABL", "extension: PMP mechanism ablations", func() *bench.Table { return bench.Ablations(r) }},
+		{"REL", "extension: related-work prefetchers (§VI)", func() *bench.Table { return bench.Related(r) }},
+		{"PLC", "§V-B: PMP@L1 vs original Bingo@LLC placement", func() *bench.Table { return bench.Placement(r) }},
+		{"THR", "extension: AFE threshold sweep", func() *bench.Table { return bench.Thresholds(r) }},
+	}
+}
+
+// expResult carries one finished experiment back to the printer.
+type expResult struct {
+	tbl *bench.Table // nil when the sweep was interrupted
+	dur time.Duration
+}
 
 func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: quick, default or full")
 	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all); see -list")
 	listFlag := flag.Bool("list", false, "list experiment IDs and exit")
 	csvDir := flag.String("csv", "", "also write each experiment as <dir>/<ID>.csv")
+	storePath := flag.String("store", "", "persist per-job results to this append-only JSONL store")
+	resumeFlag := flag.Bool("resume", false, "skip jobs already completed in -store (requires -store)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	jobTimeout := flag.Duration("job-timeout", 30*time.Minute, "per-job attempt timeout (0 = none)")
+	retries := flag.Int("retries", 2, "attempts per job before quarantine")
+	progressFlag := flag.Bool("progress", true, "report sweep progress on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -32,39 +98,6 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
-
-	ids := map[string]string{
-		"T1":   "Table I: pattern collision/duplicate rates",
-		"F2":   "Fig 2: pattern frequency concentration",
-		"F4":   "Fig 4: ICDD per clustering feature",
-		"F5":   "Fig 5: pattern heat maps",
-		"T3":   "Tables II/III/V: storage overhead",
-		"F8":   "Fig 8: single-core NIPC",
-		"F9":   "Fig 9: coverage and accuracy",
-		"F10":  "Fig 10: useful/useless prefetches",
-		"NMT":  "§V-D: normalized memory traffic",
-		"T8":   "Table VIII: Design B ways sweep",
-		"EXT":  "§V-E2: extraction schemes",
-		"MF":   "§V-E3: multi-feature structures",
-		"T9":   "Table IX: pattern length sweep",
-		"T10a": "Table X: trigger offset width sweep",
-		"T10b": "Table X: counter size sweep",
-		"T11":  "Table XI: monitoring range sweep",
-		"F12a": "Fig 12a: bandwidth sensitivity",
-		"F12b": "Fig 12b: LLC size sensitivity",
-		"F13":  "Fig 13: 4-core performance",
-		"ABL":  "extension: PMP mechanism ablations",
-		"REL":  "extension: related-work prefetchers (§VI)",
-		"PLC":  "§V-B: PMP@L1 vs original Bingo@LLC placement",
-		"THR":  "extension: AFE threshold sweep",
-	}
-	if *listFlag {
-		for _, id := range []string{"T1", "F2", "F4", "F5", "T3", "F8", "F9", "F10", "NMT",
-			"T8", "EXT", "MF", "T9", "T10a", "T10b", "T11", "F12a", "F12b", "F13", "ABL", "REL", "PLC", "THR"} {
-			fmt.Printf("%-5s %s\n", id, ids[id])
-		}
-		return
-	}
 
 	var scale bench.Scale
 	switch *scaleFlag {
@@ -79,58 +112,143 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The registry is built twice: once against a throwaway runner for
+	// -list and -exp validation (nothing simulates until a builder
+	// runs), and again below bound to the sweep-backed runner.
+	index := registry(bench.NewRunner(scale), scale)
+	if *listFlag {
+		for _, e := range index {
+			fmt.Printf("%-5s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	known := map[string]bool{}
+	for _, e := range index {
+		known[e.id] = true
+	}
 	want := map[string]bool{}
 	if *expFlag != "" {
+		var unknown []string
 		for _, id := range strings.Split(*expFlag, ",") {
-			want[strings.TrimSpace(id)] = true
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				unknown = append(unknown, id)
+				continue
+			}
+			want[id] = true
+		}
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "unknown experiment id(s): %s (see -list for valid IDs)\n",
+				strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		if len(want) == 0 {
+			fmt.Fprintln(os.Stderr, "-exp selected no experiments (see -list)")
+			os.Exit(2)
 		}
 	}
 
-	start := time.Now()
-	r := bench.NewRunner(scale)
-	run := func(id string, f func() *bench.Table) {
-		if len(want) > 0 && !want[id] {
-			return
+	if *resumeFlag && *storePath == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -store")
+		os.Exit(2)
+	}
+	var store *sweep.Store
+	if *storePath != "" {
+		store, err = sweep.OpenStore(*storePath, *resumeFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmpexperiments:", err)
+			os.Exit(1)
 		}
-		t0 := time.Now()
-		tbl := f()
-		fmt.Println(tbl)
+		if *resumeFlag {
+			fmt.Fprintf(os.Stderr, "sweep: resuming from %s (%d records", *storePath, store.Loaded())
+			if n := store.Skipped(); n > 0 {
+				fmt.Fprintf(os.Stderr, ", %d malformed lines skipped", n)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+		}
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	opts := sweep.Options{
+		Workers:     *workers,
+		MaxAttempts: *retries,
+		JobTimeout:  *jobTimeout,
+		Store:       store,
+	}
+	if *progressFlag {
+		opts.Progress = sweep.WriterProgress(os.Stderr)
+	}
+	sw := sweep.New(ctx, opts)
+
+	start := time.Now()
+	r := bench.NewRunnerWith(scale, sw)
+	index = registry(r, scale)
+
+	var selected []experiment
+	for _, e := range index {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		selected = append(selected, e)
+	}
+
+	// Launch every selected experiment up front; each builder submits
+	// its simulations to the shared sweep and assembles its table when
+	// they complete. Tables print in index order as they become ready.
+	results := make([]chan expResult, len(selected))
+	for i, e := range selected {
+		ch := make(chan expResult, 1)
+		results[i] = ch
+		go func() {
+			t0 := time.Now()
+			defer func() {
+				if p := recover(); p != nil {
+					if _, ok := p.(sweep.Interrupted); ok {
+						ch <- expResult{nil, time.Since(t0)}
+						return
+					}
+					panic(p)
+				}
+			}()
+			ch <- expResult{e.run(), time.Since(t0)}
+		}()
+	}
+
+	interrupted := false
+	for i, e := range selected {
+		res := <-results[i]
+		if res.tbl == nil {
+			interrupted = true
+			break
+		}
+		fmt.Println(res.tbl)
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
 			} else {
-				path := *csvDir + "/" + id + ".csv"
-				if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				path := filepath.Join(*csvDir, e.id+".csv")
+				if err := os.WriteFile(path, []byte(res.tbl.CSV()), 0o644); err != nil {
 					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
 				}
 			}
 		}
-		fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("-- %s completed in %v --\n\n", e.id, res.dur.Round(time.Millisecond))
 	}
 
-	run("T1", func() *bench.Table { return bench.TableI(scale) })
-	run("F2", func() *bench.Table { return bench.Fig2(scale) })
-	run("F4", func() *bench.Table { return bench.Fig4(scale) })
-	run("F5", func() *bench.Table { return bench.Fig5(scale) })
-	run("T3", bench.Storage)
-	run("F8", func() *bench.Table { return bench.Fig8(r) })
-	run("F9", func() *bench.Table { return bench.Fig9(r) })
-	run("F10", func() *bench.Table { return bench.Fig10(r) })
-	run("NMT", func() *bench.Table { return bench.NMT(r) })
-	run("T8", func() *bench.Table { return bench.TableVIII(r) })
-	run("EXT", func() *bench.Table { return bench.Extraction(r) })
-	run("MF", func() *bench.Table { return bench.MultiFeature(r) })
-	run("T9", func() *bench.Table { return bench.TableIX(r) })
-	run("T10a", func() *bench.Table { return bench.TableXOffsetWidth(r) })
-	run("T10b", func() *bench.Table { return bench.TableXCounterSize(r) })
-	run("T11", func() *bench.Table { return bench.TableXI(r) })
-	run("F12a", func() *bench.Table { return bench.Fig12Bandwidth(r) })
-	run("F12b", func() *bench.Table { return bench.Fig12LLC(r) })
-	run("F13", func() *bench.Table { return bench.Fig13(scale) })
-	run("ABL", func() *bench.Table { return bench.Ablations(r) })
-	run("REL", func() *bench.Table { return bench.Related(r) })
-	run("PLC", func() *bench.Table { return bench.Placement(r) })
-	run("THR", func() *bench.Table { return bench.Thresholds(r) })
-
+	m := sw.Close()
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "sweep: store %s: %d new, %d cached, %d quarantined (manifest: %s)\n",
+			store.Path(), m.Completed, m.Cached, m.Quarantined, store.ManifestPath())
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "interrupted: results store flushed; re-run with -resume to continue")
+		os.Exit(130)
+	}
 	fmt.Printf("total elapsed: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -6,9 +6,9 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -30,6 +30,7 @@ import (
 	"pmp/internal/prefetchers/triage"
 	"pmp/internal/prefetchers/vldp"
 	"pmp/internal/sim"
+	"pmp/internal/sweep"
 	"pmp/internal/trace"
 )
 
@@ -264,75 +265,114 @@ func geomeanRatio(a, b []sim.Result, metric func(sim.Result) float64) float64 {
 	return math.Exp(sum / float64(n))
 }
 
-// Runner executes suite runs with a shared baseline cache, so sweeps
-// that reuse the same system configuration only simulate the baseline
-// once per trace.
+// defaultSweep is the process-wide scheduler used by Runners built
+// without an explicit sweep (tests, benchmarks, library use): one
+// bounded worker pool and one job-dedup table shared by every such
+// Runner in the process. It has no results store and is never closed.
+var (
+	defaultSweepOnce sync.Once
+	defaultSweepVal  *sweep.Sweep
+)
+
+func defaultSweep() *sweep.Sweep {
+	defaultSweepOnce.Do(func() {
+		defaultSweepVal = sweep.New(context.Background(), sweep.Options{})
+	})
+	return defaultSweepVal
+}
+
+// Runner executes suite runs by submitting one sweep job per (trace,
+// prefetcher, config) triple to a shared scheduler, with a
+// singleflight baseline cache so concurrent experiments that reuse
+// the same system configuration only simulate the baseline once per
+// trace. Runners are safe for concurrent use.
 type Runner struct {
 	Scale Scale
 	specs []trace.Spec
-	base  map[string][]sim.Result // config fingerprint -> baseline results
+	sw    *sweep.Sweep
+
+	mu   sync.Mutex
+	base map[string]*baseline // config fingerprint -> baseline singleflight
 }
 
-// NewRunner builds a Runner for the scale.
+// baseline is one singleflight slot of the baseline cache: the first
+// caller computes res inside once, every other caller blocks on it.
+type baseline struct {
+	once sync.Once
+	res  []sim.Result
+}
+
+// NewRunner builds a Runner for the scale on the process-wide shared
+// sweep (no results store).
 func NewRunner(scale Scale) *Runner {
+	return NewRunnerWith(scale, defaultSweep())
+}
+
+// NewRunnerWith builds a Runner submitting to the given sweep, e.g. a
+// store-backed one created by cmd/pmpexperiments for resumable runs.
+func NewRunnerWith(scale Scale, sw *sweep.Sweep) *Runner {
 	return &Runner{
 		Scale: scale,
 		specs: scale.Specs(),
-		base:  map[string][]sim.Result{},
+		sw:    sw,
+		base:  map[string]*baseline{},
 	}
 }
 
 // Specs returns the runner's trace subset.
 func (r *Runner) Specs() []trace.Spec { return r.specs }
 
-// fingerprint keys the baseline cache by the complete configuration
-// (it is all value types), so sweeps over any field — bandwidth, LLC
-// size, cache policy, TLB geometry — get their own baselines.
-func fingerprint(cfg sim.Config) string {
-	return fmt.Sprintf("%+v", cfg)
-}
-
-// runParallel simulates every suite trace concurrently (one goroutine
-// per CPU); each simulation is fully independent, so results are
-// deterministic regardless of scheduling.
-func (r *Runner) runParallel(mk func() prefetch.Prefetcher, cfg sim.Config) []sim.Result {
-	res := make([]sim.Result, len(r.specs))
-	workers := runtime.NumCPU()
-	if workers > len(r.specs) {
-		workers = len(r.specs)
+// runJobs submits one job per suite trace and waits for all results
+// in spec order. The name must uniquely identify the prefetcher
+// construction (parameterized variants embed their parameters) since
+// it keys job identity together with the config fingerprint and
+// scale; identical jobs submitted by other experiments are simulated
+// only once. A quarantined job yields its zero Result so the suite —
+// and the rest of the sweep — keeps going; a canceled sweep unwinds
+// via a sweep.Interrupted panic, recovered at the experiment driver.
+func (r *Runner) runJobs(name string, cfg sim.Config, simulate func(trace.Spec) sim.Result) []sim.Result {
+	fp := cfg.Fingerprint()
+	tickets := make([]*sweep.Ticket, len(r.specs))
+	for i, sp := range r.specs {
+		sp := sp
+		tickets[i] = r.sw.Submit(sweep.Job{
+			ID:         sweep.JobID(name, sp.Name, r.Scale.Records, fp),
+			Label:      name + "/" + sp.Name,
+			Prefetcher: name,
+			Trace:      sp.Name,
+			Run:        func(context.Context) sim.Result { return simulate(sp) },
+		})
 	}
-	if workers < 1 {
-		workers = 1
+	res := make([]sim.Result, len(tickets))
+	for i, t := range tickets {
+		rec, err := t.Wait()
+		if err != nil {
+			panic(sweep.Interrupted{Err: err})
+		}
+		res[i] = rec.Result
 	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				res[i] = RunOne(r.specs[i], mk(), r.Scale, cfg)
-			}
-		}()
-	}
-	for i := range r.specs {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 	return res
 }
 
 // Baseline returns (computing if needed) the non-prefetching results
-// for the configuration.
+// for the configuration. Baselines are sweep jobs under the name
+// "none", so a store-backed run persists them keyed by the config
+// fingerprint and a resumed run skips them like any other job.
 func (r *Runner) Baseline(cfg sim.Config) []sim.Result {
-	key := fingerprint(cfg)
-	if res, ok := r.base[key]; ok {
-		return res
+	key := cfg.Fingerprint()
+	r.mu.Lock()
+	b := r.base[key]
+	if b == nil {
+		b = &baseline{}
+		r.base[key] = b
 	}
-	res := r.runParallel(func() prefetch.Prefetcher { return prefetch.Nop{} }, cfg)
-	r.base[key] = res
-	return res
+	r.mu.Unlock()
+	b.once.Do(func() {
+		b.res = r.runJobs(NameNone, cfg, func(sp trace.Spec) sim.Result {
+			return RunOne(sp, prefetch.Nop{}, r.Scale, cfg)
+		})
+	})
+	return b.res
 }
 
 // Run simulates every suite trace with fresh instances of the named
@@ -345,7 +385,9 @@ func (r *Runner) Run(name string, mk func() prefetch.Prefetcher, cfg sim.Config)
 		Name:     name,
 		Specs:    r.specs,
 		Baseline: r.Baseline(cfg),
-		Results:  r.runParallel(mk, cfg),
+		Results: r.runJobs(name, cfg, func(sp trace.Spec) sim.Result {
+			return RunOne(sp, mk(), r.Scale, cfg)
+		}),
 	}
 }
 

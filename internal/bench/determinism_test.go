@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"pmp/internal/sweep"
+)
+
+// TestSuiteDeterministicAcrossWorkerCounts is the sweep's core
+// invariant: the same (trace, prefetcher, config, scale) job yields a
+// bit-identical sim.Result whether the pool runs one worker or many —
+// scheduling must never leak into simulation results (it is what keeps
+// rendered tables byte-identical to the old serial harness).
+func TestSuiteDeterministicAcrossWorkerCounts(t *testing.T) {
+	scale := tinyScale()
+	cfg := scale.Config()
+
+	serial := sweep.New(context.Background(), sweep.Options{Workers: 1})
+	parallel := sweep.New(context.Background(), sweep.Options{Workers: max(4, runtime.NumCPU())})
+	defer serial.Close()
+	defer parallel.Close()
+
+	r1 := NewRunnerWith(scale, serial)
+	rn := NewRunnerWith(scale, parallel)
+
+	for _, name := range []string{NamePMP, NameStride} {
+		a := r1.Run(name, nil, cfg)
+		b := rn.Run(name, nil, cfg)
+		if !reflect.DeepEqual(a.Results, b.Results) {
+			t.Errorf("%s: results differ between 1 worker and %d workers", name, runtime.NumCPU())
+		}
+		if !reflect.DeepEqual(a.Baseline, b.Baseline) {
+			t.Errorf("%s: baselines differ between worker counts", name)
+		}
+	}
+}
+
+// TestResumeMatchesFresh verifies the persistence half of the
+// determinism contract: results served from a resumed store are
+// bit-identical to freshly executed ones, and a resumed run executes
+// nothing that already completed.
+func TestResumeMatchesFresh(t *testing.T) {
+	scale := tinyScale()
+	cfg := scale.Config()
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+
+	st, err := sweep.OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := sweep.New(context.Background(), sweep.Options{Store: st})
+	fresh := NewRunnerWith(scale, sw).Run(NamePMP, nil, cfg)
+	m := sw.Close()
+	if m.Completed == 0 || m.Cached != 0 {
+		t.Fatalf("fresh run completed/cached = %d/%d", m.Completed, m.Cached)
+	}
+
+	st2, err := sweep.OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw2 := sweep.New(context.Background(), sweep.Options{Store: st2})
+	resumed := NewRunnerWith(scale, sw2).Run(NamePMP, nil, cfg)
+	m2 := sw2.Close()
+
+	if m2.Completed != 0 {
+		t.Errorf("resumed run re-executed %d jobs; all %d should come from the store",
+			m2.Completed, m.Completed)
+	}
+	if m2.Cached != m.Completed {
+		t.Errorf("resumed run cached %d jobs, want %d", m2.Cached, m.Completed)
+	}
+	if !reflect.DeepEqual(fresh.Results, resumed.Results) {
+		t.Error("resumed results differ from fresh execution")
+	}
+	if !reflect.DeepEqual(fresh.Baseline, resumed.Baseline) {
+		t.Error("resumed baselines differ from fresh execution (baselines must persist too)")
+	}
+}
+
+// TestBaselineSingleflightUnderConcurrency hammers Baseline from many
+// goroutines (the pmpexperiments driver runs every experiment
+// concurrently against one Runner): all callers must get the same
+// slice and the baseline suite must be simulated exactly once per
+// config fingerprint. Run with -race this also guards the old
+// unsynchronized-map regression.
+func TestBaselineSingleflightUnderConcurrency(t *testing.T) {
+	scale := tinyScale()
+	r := NewRunner(scale)
+	cfgA := scale.Config()
+	cfgB := scale.Config().WithBandwidth(800)
+
+	const callers = 8
+	got := make(chan map[int]uintptr, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			a := r.Baseline(cfgA)
+			b := r.Baseline(cfgB)
+			got <- map[int]uintptr{
+				0: reflect.ValueOf(a).Pointer(),
+				1: reflect.ValueOf(b).Pointer(),
+			}
+		}()
+	}
+	first := <-got
+	for i := 1; i < callers; i++ {
+		other := <-got
+		if other[0] != first[0] || other[1] != first[1] {
+			t.Fatal("concurrent Baseline callers received different slices for the same config")
+		}
+	}
+	if first[0] == first[1] {
+		t.Error("different configs must have distinct baselines")
+	}
+}

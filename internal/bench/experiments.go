@@ -11,15 +11,17 @@ import (
 	"pmp/internal/trace"
 )
 
-// sweep returns a runner over a reduced trace subset for parameter
-// sweeps (the paper also evaluates ablations on the same suite; we trim
-// for wall-clock).
-func (r *Runner) sweep() *Runner {
+// subRunner returns a runner over a reduced trace subset for
+// parameter sweeps (the paper also evaluates ablations on the same
+// suite; we trim for wall-clock). It submits to the parent's
+// scheduler, so sweep-subset jobs interleave with — and deduplicate
+// against — every other experiment's jobs.
+func (r *Runner) subRunner() *Runner {
 	s := r.Scale
 	if s.Traces > 8 {
 		s.Traces = 8
 	}
-	return NewRunner(s)
+	return NewRunnerWith(s, r.sw)
 }
 
 // corpus captures the Section III pattern corpus over the scale's
@@ -324,7 +326,7 @@ func NMT(r *Runner) *Table {
 // TableVIII reproduces Table VIII: Design B NIPC vs associativity, with
 // PMP for reference.
 func TableVIII(r *Runner) *Table {
-	sw := r.sweep()
+	sw := r.subRunner()
 	cfg := sw.Scale.Config()
 	t := &Table{
 		ID:     "T8",
@@ -349,7 +351,7 @@ func TableVIII(r *Runner) *Table {
 
 // Extraction reproduces §V-E2: AFE vs ANE vs ARE.
 func Extraction(r *Runner) *Table {
-	sw := r.sweep()
+	sw := r.subRunner()
 	cfg := sw.Scale.Config()
 	t := &Table{
 		ID:     "EXT",
@@ -373,7 +375,7 @@ func Extraction(r *Runner) *Table {
 // MultiFeature reproduces §V-E3: dual tables vs combined feature vs
 // single-table variants.
 func MultiFeature(r *Runner) *Table {
-	sw := r.sweep()
+	sw := r.subRunner()
 	cfg := sw.Scale.Config()
 	t := &Table{
 		ID:     "MF",
@@ -399,7 +401,7 @@ func MultiFeature(r *Runner) *Table {
 
 // TableIX reproduces Table IX: pattern length (region size) sweep.
 func TableIX(r *Runner) *Table {
-	sw := r.sweep()
+	sw := r.subRunner()
 	cfg := sw.Scale.Config()
 	t := &Table{
 		ID:     "T9",
@@ -424,7 +426,7 @@ func TableIX(r *Runner) *Table {
 
 // TableXOffsetWidth reproduces Table X (left): trigger offset width.
 func TableXOffsetWidth(r *Runner) *Table {
-	sw := r.sweep()
+	sw := r.subRunner()
 	cfg := sw.Scale.Config()
 	t := &Table{
 		ID:     "T10a",
@@ -450,7 +452,7 @@ func TableXOffsetWidth(r *Runner) *Table {
 
 // TableXCounterSize reproduces Table X (right): OPT counter width.
 func TableXCounterSize(r *Runner) *Table {
-	sw := r.sweep()
+	sw := r.subRunner()
 	cfg := sw.Scale.Config()
 	t := &Table{
 		ID:     "T10b",
@@ -472,7 +474,7 @@ func TableXCounterSize(r *Runner) *Table {
 
 // TableXI reproduces Table XI: PPT monitoring range.
 func TableXI(r *Runner) *Table {
-	sw := r.sweep()
+	sw := r.subRunner()
 	cfg := sw.Scale.Config()
 	t := &Table{
 		ID:     "T11",
@@ -497,7 +499,7 @@ func TableXI(r *Runner) *Table {
 
 // Fig12Bandwidth reproduces Fig 12a: NIPC vs DRAM transfer rate.
 func Fig12Bandwidth(r *Runner) *Table {
-	sw := r.sweep()
+	sw := r.subRunner()
 	t := &Table{
 		ID:     "F12a",
 		Title:  "Performance vs memory bandwidth (paper Fig 12a)",
@@ -520,7 +522,7 @@ func Fig12Bandwidth(r *Runner) *Table {
 
 // Fig12LLC reproduces Fig 12b: NIPC vs LLC capacity.
 func Fig12LLC(r *Runner) *Table {
-	sw := r.sweep()
+	sw := r.subRunner()
 	t := &Table{
 		ID:     "F12b",
 		Title:  "Performance vs LLC size (paper Fig 12b)",
@@ -694,7 +696,7 @@ func All(scale Scale) []*Table {
 // halving (aging) and the prefetch buffer's continue-on-reaccess
 // behaviour.
 func Ablations(r *Runner) *Table {
-	sw := r.sweep()
+	sw := r.subRunner()
 	cfg := sw.Scale.Config()
 	t := &Table{
 		ID:     "ABL",
@@ -741,18 +743,15 @@ func Placement(r *Runner) *Table {
 	pmpRes := r.Run(NamePMP, nil, cfg)
 	t.AddRow("PMP at L1D", f3(pmpRes.NIPC()))
 
-	// Original (non-doubled) Bingo: half the enhanced PHT.
-	mkBingo := func() prefetch.Prefetcher {
-		c := bingoOriginalConfig()
-		return bingoNew(c)
-	}
+	// Original (non-doubled) Bingo: half the enhanced PHT. The LLC
+	// attachment doesn't fit Run's L1-trained shape, so the per-trace
+	// simulations go to the sweep as jobs under their own name.
 	base := r.Baseline(cfg)
-	results := make([]sim.Result, len(r.Specs()))
-	for i, sp := range r.Specs() {
+	results := r.runJobs("bingo@llc", cfg, func(sp trace.Spec) sim.Result {
 		sys := sim.NewSystem(cfg, prefetch.Nop{})
-		sys.AttachLLCPrefetcher(mkBingo())
-		results[i] = sys.Run(sp.New(r.Scale.Records))
-	}
+		sys.AttachLLCPrefetcher(bingoNew(bingoOriginalConfig()))
+		return sys.Run(sp.New(r.Scale.Records))
+	})
 	llcBingo := SuiteResult{Name: "bingo@llc", Results: results, Baseline: base, Specs: r.Specs()}
 	t.AddRow("original Bingo at LLC", f3(llcBingo.NIPC()))
 
@@ -770,7 +769,7 @@ func Placement(r *Runner) *Table {
 // the paper fixes at T_l1d=50% / T_l2c=15% without a sweep: it shows
 // where those defaults sit in the design space.
 func Thresholds(r *Runner) *Table {
-	sw := r.sweep()
+	sw := r.subRunner()
 	cfg := sw.Scale.Config()
 	t := &Table{
 		ID:     "THR",

@@ -49,6 +49,16 @@ func DefaultConfig() Config {
 	}
 }
 
+// Fingerprint returns a canonical string identifying the complete
+// configuration. Config is all value types, so the rendered form
+// covers every field — system geometry, bandwidth, TLB, warm-up and
+// measure windows. Baseline caches and sweep job IDs key on it: any
+// configuration change yields a new fingerprint, so persisted results
+// are never served to a reconfigured run.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("%+v", c)
+}
+
 // WithLLCMB returns the configuration with the LLC resized to the given
 // capacity in MB by scaling sets (the paper's Fig 12b sweep enlarges the
 // LLC "by increasing the number of LLC sets"). MSHRs and PQ scale with

@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time view of a sweep's progress.
+type Snapshot struct {
+	Submitted   int // unique jobs accepted
+	Deduped     int // submissions folded into an existing ticket
+	Done        int // resolved (completed + cached + quarantined + canceled)
+	Cached      int // served from the results store
+	Completed   int // executed to completion this run
+	Quarantined int
+	Canceled    int
+	StoreErrors int
+	Running     []string // labels of currently executing jobs
+	Elapsed     time.Duration
+}
+
+// ProgressFunc receives periodic snapshots; final is true for the
+// last report, issued from Close.
+type ProgressFunc func(snap Snapshot, final bool)
+
+// Snapshot returns the sweep's current counters.
+func (s *Sweep) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	running := make([]string, 0, len(s.running))
+	for _, label := range s.running {
+		running = append(running, label)
+	}
+	sort.Strings(running)
+	return Snapshot{
+		Submitted:   s.submitted,
+		Deduped:     s.deduped,
+		Done:        s.done,
+		Cached:      s.cached,
+		Completed:   s.completed,
+		Quarantined: s.quarantined,
+		Canceled:    s.canceled,
+		StoreErrors: s.storeErrs,
+		Running:     running,
+		Elapsed:     time.Since(s.started),
+	}
+}
+
+// progressLoop reports at the configured interval until Close.
+func (s *Sweep) progressLoop() {
+	defer s.progressWG.Done()
+	tick := time.NewTicker(s.opts.ProgressEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.opts.Progress(s.Snapshot(), false)
+		case <-s.progressStop:
+			return
+		}
+	}
+}
+
+// WriterProgress returns a ProgressFunc rendering one status line per
+// report to w (normally stderr): jobs done/total, throughput, ETA and
+// the currently running job labels.
+func WriterProgress(w io.Writer) ProgressFunc {
+	return func(snap Snapshot, final bool) {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "sweep: %d/%d done", snap.Done, snap.Submitted)
+		if snap.Cached > 0 {
+			fmt.Fprintf(&sb, " · %d cached", snap.Cached)
+		}
+		if snap.Quarantined > 0 {
+			fmt.Fprintf(&sb, " · %d quarantined", snap.Quarantined)
+		}
+		if snap.Canceled > 0 {
+			fmt.Fprintf(&sb, " · %d canceled", snap.Canceled)
+		}
+		if secs := snap.Elapsed.Seconds(); secs > 0 && snap.Completed > 0 {
+			rate := float64(snap.Completed) / secs
+			fmt.Fprintf(&sb, " · %.1f jobs/s", rate)
+			if left := snap.Submitted - snap.Done; left > 0 && !final {
+				eta := time.Duration(float64(left) / rate * float64(time.Second)).Round(time.Second)
+				fmt.Fprintf(&sb, " · ETA %v", eta)
+			}
+		}
+		if len(snap.Running) > 0 && !final {
+			show := snap.Running
+			const maxShow = 4
+			extra := ""
+			if len(show) > maxShow {
+				extra = fmt.Sprintf(" +%d", len(show)-maxShow)
+				show = show[:maxShow]
+			}
+			fmt.Fprintf(&sb, " · running: %s%s", strings.Join(show, ", "), extra)
+		}
+		if final {
+			sb.WriteString(" · finished")
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+}

@@ -1,0 +1,343 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pmp/internal/sim"
+)
+
+// testJob builds a trivial job whose Result encodes its identity, so
+// tests can verify which job produced which record.
+func testJob(i int, body func(context.Context) sim.Result) Job {
+	id := fmt.Sprintf("job-%d", i)
+	if body == nil {
+		body = func(context.Context) sim.Result {
+			return sim.Result{Trace: id, Instructions: uint64(i), Cycles: 1}
+		}
+	}
+	return Job{ID: id, Label: id, Prefetcher: "test", Trace: id, Run: body}
+}
+
+func TestJobIDDeterministicAndDistinct(t *testing.T) {
+	a := JobID("pmp", "spec06.stream-0", 60_000, "cfg-a")
+	b := JobID("pmp", "spec06.stream-0", 60_000, "cfg-a")
+	if a != b {
+		t.Errorf("same coordinates gave different IDs: %s vs %s", a, b)
+	}
+	for _, other := range []string{
+		JobID("bingo", "spec06.stream-0", 60_000, "cfg-a"),
+		JobID("pmp", "spec06.stream-1", 60_000, "cfg-a"),
+		JobID("pmp", "spec06.stream-0", 60_001, "cfg-a"),
+		JobID("pmp", "spec06.stream-0", 60_000, "cfg-b"),
+	} {
+		if other == a {
+			t.Errorf("different coordinates collided on %s", a)
+		}
+	}
+}
+
+func TestSubmitDeduplicatesByID(t *testing.T) {
+	var runs atomic.Int32
+	s := New(context.Background(), Options{Workers: 2})
+	job := testJob(1, func(context.Context) sim.Result {
+		runs.Add(1)
+		return sim.Result{Cycles: 1}
+	})
+	t1 := s.Submit(job)
+	t2 := s.Submit(job)
+	if t1 != t2 {
+		t.Error("same ID should return the same ticket")
+	}
+	if _, err := t1.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	m := s.Close()
+	if got := runs.Load(); got != 1 {
+		t.Errorf("job ran %d times, want 1", got)
+	}
+	if m.Submitted != 1 || m.Deduped != 1 {
+		t.Errorf("manifest submitted/deduped = %d/%d, want 1/1", m.Submitted, m.Deduped)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 2
+	var cur, max atomic.Int32
+	var mu sync.Mutex
+	s := New(context.Background(), Options{Workers: workers})
+	var tickets []*Ticket
+	for i := 0; i < 10; i++ {
+		tickets = append(tickets, s.Submit(testJob(i, func(context.Context) sim.Result {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > max.Load() {
+				max.Store(n)
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			cur.Add(-1)
+			return sim.Result{Cycles: 1}
+		})))
+	}
+	for _, tk := range tickets {
+		if _, err := tk.Wait(); err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	}
+	s.Close()
+	if got := max.Load(); got > workers {
+		t.Errorf("observed %d concurrent jobs, pool bound is %d", got, workers)
+	}
+}
+
+func TestPanickingJobIsQuarantinedRestCompletes(t *testing.T) {
+	s := New(context.Background(), Options{Workers: 2, MaxAttempts: 2})
+	var tickets []*Ticket
+	for i := 0; i < 8; i++ {
+		j := testJob(i, nil)
+		if i == 3 {
+			j.Run = func(context.Context) sim.Result { panic("poisoned job") }
+		}
+		tickets = append(tickets, s.Submit(j))
+	}
+	for i, tk := range tickets {
+		rec, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("job %d: unexpected error %v", i, err)
+		}
+		if i == 3 {
+			if rec.Status != StatusQuarantined {
+				t.Errorf("poisoned job status = %q, want %q", rec.Status, StatusQuarantined)
+			}
+			if rec.Attempts != 2 {
+				t.Errorf("poisoned job attempts = %d, want 2 (bounded retry)", rec.Attempts)
+			}
+			if rec.Err == "" {
+				t.Error("quarantined record should carry the panic message")
+			}
+			continue
+		}
+		if rec.Status != StatusOK {
+			t.Errorf("job %d status = %q, want ok", i, rec.Status)
+		}
+		if rec.Result.Instructions != uint64(i) {
+			t.Errorf("job %d result mismatch: %d", i, rec.Result.Instructions)
+		}
+	}
+	m := s.Close()
+	if m.Quarantined != 1 || m.Completed != 7 {
+		t.Errorf("manifest quarantined/completed = %d/%d, want 1/7", m.Quarantined, m.Completed)
+	}
+	if len(m.QuarantinedJobs) != 1 || m.QuarantinedJobs[0] != "job-3" {
+		t.Errorf("manifest quarantined jobs = %v, want [job-3]", m.QuarantinedJobs)
+	}
+}
+
+func TestTimedOutJobIsQuarantined(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	s := New(context.Background(), Options{Workers: 1, MaxAttempts: 2, JobTimeout: 20 * time.Millisecond})
+	slow := s.Submit(testJob(0, func(ctx context.Context) sim.Result {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return sim.Result{Cycles: 1}
+	}))
+	fast := s.Submit(testJob(1, nil))
+	rec, err := slow.Wait()
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if rec.Status != StatusQuarantined {
+		t.Errorf("timed-out job status = %q, want quarantined", rec.Status)
+	}
+	if rec.Attempts != 2 {
+		t.Errorf("timed-out job attempts = %d, want 2", rec.Attempts)
+	}
+	if rec, err := fast.Wait(); err != nil || rec.Status != StatusOK {
+		t.Errorf("job behind the stuck one should still complete: %v %q", err, rec.Status)
+	}
+	s.Close()
+}
+
+func TestCancelResolvesPendingTickets(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	s := New(ctx, Options{Workers: 1})
+	running := make(chan struct{})
+	var once sync.Once
+	first := s.Submit(testJob(0, func(context.Context) sim.Result {
+		once.Do(func() { close(running) })
+		<-release
+		return sim.Result{Cycles: 1}
+	}))
+	var rest []*Ticket
+	for i := 1; i < 5; i++ {
+		rest = append(rest, s.Submit(testJob(i, nil)))
+	}
+	<-running
+	cancel()
+	for i, tk := range rest {
+		if _, err := tk.Wait(); err == nil {
+			t.Errorf("queued job %d should resolve with a cancellation error", i+1)
+		}
+	}
+	// The in-flight job is abandoned with a cancellation error too.
+	if _, err := first.Wait(); err == nil {
+		t.Error("in-flight job should resolve canceled")
+	}
+	close(release)
+	m := s.Close()
+	if m.Canceled == 0 {
+		t.Errorf("manifest should count canceled jobs, got %+v", m)
+	}
+	// New submissions after cancellation resolve immediately.
+	if _, err := s.Submit(testJob(99, nil)).Wait(); err == nil {
+		t.Error("submission after cancel should resolve with an error")
+	}
+}
+
+func TestStoreBackedSweepPersistsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.jsonl")
+
+	st, err := OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int32
+	mk := func(i int) Job {
+		return testJob(i, func(context.Context) sim.Result {
+			runs.Add(1)
+			return sim.Result{Trace: fmt.Sprintf("job-%d", i), Instructions: uint64(i), Cycles: 1}
+		})
+	}
+	s := New(context.Background(), Options{Workers: 2, Store: st})
+	var first []Record
+	for i := 0; i < 5; i++ {
+		rec, err := s.Submit(mk(i)).Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, rec)
+	}
+	m := s.Close()
+	if m.Completed != 5 || m.Cached != 0 {
+		t.Fatalf("first run completed/cached = %d/%d, want 5/0", m.Completed, m.Cached)
+	}
+
+	// Resume: the same five jobs are served from the store; two new
+	// ones execute.
+	st2, err := OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Loaded() != 5 {
+		t.Fatalf("resume loaded %d records, want 5", st2.Loaded())
+	}
+	runs.Store(0)
+	s2 := New(context.Background(), Options{Workers: 2, Store: st2})
+	for i := 0; i < 7; i++ {
+		tk := s2.Submit(mk(i))
+		rec, err := tk.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 5 {
+			if !tk.Cached() {
+				t.Errorf("job %d should be served from the store", i)
+			}
+			if !reflect.DeepEqual(rec.Result, first[i].Result) {
+				t.Errorf("job %d cached result differs from original", i)
+			}
+		} else if tk.Cached() {
+			t.Errorf("new job %d cannot be cached", i)
+		}
+	}
+	m2 := s2.Close()
+	if runs.Load() != 2 {
+		t.Errorf("resume executed %d jobs, want 2", runs.Load())
+	}
+	if m2.Cached != 5 || m2.Completed != 2 {
+		t.Errorf("resume manifest cached/completed = %d/%d, want 5/2", m2.Cached, m2.Completed)
+	}
+
+	// The store now holds all seven records.
+	st3, err := OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Len() != 7 {
+		t.Errorf("final store holds %d records, want 7", st3.Len())
+	}
+	st3.Close()
+}
+
+func TestQuarantinedRecordIsRetriedOnResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	st, _ := OpenStore(path, false)
+	s := New(context.Background(), Options{Workers: 1, MaxAttempts: 1, Store: st})
+	rec, err := s.Submit(testJob(0, func(context.Context) sim.Result { panic("flaky") })).Wait()
+	if err != nil || rec.Status != StatusQuarantined {
+		t.Fatalf("setup: %v %q", err, rec.Status)
+	}
+	s.Close()
+
+	st2, _ := OpenStore(path, true)
+	s2 := New(context.Background(), Options{Workers: 1, Store: st2})
+	rec, err = s2.Submit(testJob(0, nil)).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != StatusOK {
+		t.Errorf("quarantined job should be re-run on resume, got %q", rec.Status)
+	}
+	s2.Close()
+
+	// Last record per ID wins: a fresh resume now sees the OK result.
+	st3, _ := OpenStore(path, true)
+	if rec, ok := st3.Lookup(JobID("", "", 0, "")); ok {
+		t.Fatalf("unexpected record %+v", rec)
+	}
+	got, ok := st3.Lookup("job-0")
+	if !ok || got.Status != StatusOK {
+		t.Errorf("store should serve the OK record after retry, got %+v (ok=%v)", got, ok)
+	}
+	st3.Close()
+}
+
+func TestManifestWrittenNextToStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	st, _ := OpenStore(path, false)
+	s := New(context.Background(), Options{Workers: 1, Store: st})
+	s.Submit(testJob(0, nil)).Wait()
+	m := s.Close()
+	if m.Store != path {
+		t.Errorf("manifest store = %q, want %q", m.Store, path)
+	}
+	want := filepath.Join(filepath.Dir(path), "run.manifest.json")
+	if got := st.ManifestPath(); got != want {
+		t.Errorf("manifest path = %q, want %q", got, want)
+	}
+	b, err := os.ReadFile(st.ManifestPath())
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if got.Completed != 1 || got.Workers != 1 {
+		t.Errorf("manifest completed/workers = %d/%d, want 1/1", got.Completed, got.Workers)
+	}
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the sweep orchestrator (docs/sweep.md).
+#
+# Runs pmpexperiments at quick scale three times:
+#   1. an uninterrupted reference run,
+#   2. a run SIGINT'd mid-sweep,
+#   3. a -resume of the interrupted run,
+# then asserts that
+#   a. no job completed before the interrupt is re-recorded by the
+#      resume (its store record count is unchanged), and
+#   b. the resumed run's rendered tables are byte-identical to the
+#      uninterrupted reference (timing lines stripped).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== build =="
+go build -o "$tmp/pmpexperiments" ./cmd/pmpexperiments
+
+echo "== reference (uninterrupted) run =="
+"$tmp/pmpexperiments" -scale quick -store "$tmp/ref.jsonl" \
+  >"$tmp/ref.out" 2>"$tmp/ref.err"
+
+echo "== interrupted run =="
+"$tmp/pmpexperiments" -scale quick -store "$tmp/sweep.jsonl" \
+  >"$tmp/int.out" 2>"$tmp/int.err" &
+pid=$!
+sleep "${RESUME_SMOKE_INTERRUPT_AFTER:-5}"
+if kill -INT "$pid" 2>/dev/null; then
+  status=0
+  wait "$pid" || status=$?
+  echo "interrupted run exited with status $status"
+else
+  wait "$pid" || true
+  echo "run finished before the interrupt; resume will be fully cached"
+fi
+touch "$tmp/sweep.jsonl"
+cp "$tmp/sweep.jsonl" "$tmp/pre.jsonl"
+
+echo "== resumed run =="
+"$tmp/pmpexperiments" -scale quick -store "$tmp/sweep.jsonl" -resume \
+  >"$tmp/res.out" 2>"$tmp/res.err"
+
+echo "== assert: completed jobs were skipped =="
+ok_ids() { grep '"status":"ok"' "$1" 2>/dev/null | grep -o '"id":"[^"]*"' | sort -u || true; }
+ok_ids "$tmp/pre.jsonl" >"$tmp/pre_ids.txt"
+pre_lines=$(wc -l <"$tmp/pre.jsonl")
+tail -n +"$((pre_lines + 1))" "$tmp/sweep.jsonl" >"$tmp/appended.jsonl"
+grep -o '"id":"[^"]*"' "$tmp/appended.jsonl" | sort -u >"$tmp/appended_ids.txt" || true
+rerun=$(comm -12 "$tmp/pre_ids.txt" "$tmp/appended_ids.txt")
+if [ -n "$rerun" ]; then
+  echo "FAIL: jobs completed before the interrupt were re-recorded after -resume:"
+  echo "$rerun"
+  exit 1
+fi
+echo "PASS: $(wc -l <"$tmp/pre_ids.txt") completed jobs skipped," \
+  "$(wc -l <"$tmp/appended_ids.txt") remaining jobs executed by the resume"
+
+echo "== assert: resumed tables match the uninterrupted reference =="
+strip() { grep -v -E '^-- .* completed in |^total elapsed: ' "$1"; }
+if ! diff <(strip "$tmp/ref.out") <(strip "$tmp/res.out"); then
+  echo "FAIL: resumed run's tables differ from the uninterrupted reference"
+  exit 1
+fi
+echo "PASS: rendered tables byte-identical"
+
+echo "== resume smoke OK =="
