@@ -67,6 +67,7 @@ func registry(r *bench.Runner, scale bench.Scale) []experiment {
 		{"ABL", "extension: PMP mechanism ablations", func() *bench.Table { return bench.Ablations(r) }},
 		{"REL", "extension: related-work prefetchers (§VI)", func() *bench.Table { return bench.Related(r) }},
 		{"PLC", "§V-B: PMP@L1 vs original Bingo@LLC placement", func() *bench.Table { return bench.Placement(r) }},
+		{"INC", "extension: inclusion policy and hierarchy depth", func() *bench.Table { return bench.Inclusion(r) }},
 		{"THR", "extension: AFE threshold sweep", func() *bench.Table { return bench.Thresholds(r) }},
 	}
 }

@@ -33,6 +33,8 @@ func main() {
 	mtps := flag.Int("bandwidth", 3200, "DRAM transfer rate in MT/s")
 	llcMB := flag.Int("llc", 2, "LLC size in MB")
 	llcpf := flag.String("llcpf", "", "additionally attach a prefetcher at the LLC (trains on LLC accesses, fills LLC)")
+	nonInclusive := flag.Bool("noninclusive", false, "make the LLC non-inclusive (no back-invalidation), as in ChampSim's default")
+	noL2 := flag.Bool("no-l2", false, "run a 2-level hierarchy (private L1D directly over the LLC)")
 	baseline := flag.Bool("baseline", false, "also run the non-prefetching baseline and report NIPC")
 	traceLifecycle := flag.Bool("trace-lifecycle", false, "track every prefetch from issue to resolution and report timely/late/useless/redundant counts with fill-to-use slack")
 	lifecycleJSONL := flag.String("lifecycle-jsonl", "", "write one JSON object per resolved prefetch lifecycle to this file (implies -trace-lifecycle)")
@@ -65,6 +67,13 @@ func main() {
 	cfg := sim.DefaultConfig().WithBandwidth(*mtps).WithLLCMB(*llcMB)
 	cfg.Warmup = *warmup
 	cfg.Measure = *measure
+	cfg.NonInclusiveLLC = *nonInclusive
+	if *noL2 {
+		cfg.Levels = []sim.LevelSpec{
+			{Cache: cfg.L1D},
+			{Cache: cfg.LLC, Shared: true, Inclusive: !*nonInclusive},
+		}
+	}
 
 	pf, err := bench.TryNewPrefetcher(*pfName)
 	if err != nil {

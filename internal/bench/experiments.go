@@ -687,6 +687,7 @@ func All(scale Scale) []*Table {
 		Ablations(r),
 		Related(r),
 		Placement(r),
+		Inclusion(r),
 		Thresholds(r),
 	}
 }
@@ -762,6 +763,42 @@ func Placement(r *Runner) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"our OOO-window core under-prices upper-level miss latency, flattering LLC placement (see EXPERIMENTS.md)")
+	return t
+}
+
+// Inclusion is an extension sweep over the hierarchy-shape knobs the
+// N-level machine exposes: PMP on the default inclusive LLC, on a
+// ChampSim-style non-inclusive LLC, and on a 2-level hierarchy with no
+// L2C. Each variant is normalized against the non-prefetching baseline
+// of the same hierarchy.
+func Inclusion(r *Runner) *Table {
+	t := &Table{
+		ID:     "INC",
+		Title:  "Hierarchy shape: inclusion policy and depth (extension; not a paper artifact)",
+		Header: []string{"Hierarchy", "NIPC", "NMT"},
+	}
+	variants := []struct {
+		name string
+		mut  func(*sim.Config)
+	}{
+		{"3-level, inclusive LLC (default)", func(*sim.Config) {}},
+		{"3-level, non-inclusive LLC", func(c *sim.Config) { c.NonInclusiveLLC = true }},
+		{"2-level (no L2C), inclusive LLC", func(c *sim.Config) {
+			c.Levels = []sim.LevelSpec{
+				{Cache: c.L1D},
+				{Cache: c.LLC, Shared: true, Inclusive: true},
+			}
+		}},
+	}
+	for _, v := range variants {
+		cfg := r.Scale.Config()
+		v.mut(&cfg)
+		res := r.Run(NamePMP, nil, cfg)
+		t.AddRow(v.name, f3(res.NIPC()), pct(res.NMT()))
+	}
+	t.Notes = append(t.Notes,
+		"non-inclusive LLCs skip back-invalidation, so hot L1/L2 lines survive LLC pressure;",
+		"dropping the L2C exposes every L1D miss to LLC latency, raising the stakes on L1 prefetch coverage")
 	return t
 }
 

@@ -12,6 +12,22 @@ import (
 	"pmp/internal/tlb"
 )
 
+// LevelSpec describes one level of an explicit cache hierarchy
+// (innermost first).
+type LevelSpec struct {
+	Cache cache.Config
+
+	// Shared marks the level as shared by every core. Shared levels
+	// must form a suffix of the hierarchy: once a level is shared,
+	// every level below it is too.
+	Shared bool
+
+	// Inclusive makes the level inclusive of all inner levels:
+	// evicting a line back-invalidates it from every level above it
+	// (in every core, for shared levels).
+	Inclusive bool
+}
+
 // Config describes a simulated system (one core's private hierarchy
 // plus the shared LLC/DRAM parameters).
 type Config struct {
@@ -22,13 +38,35 @@ type Config struct {
 	DRAM dram.Config
 	TLB  tlb.Config
 
+	// Levels, when non-empty, replaces the classic L1D/L2C/LLC fields
+	// with an explicit N-level hierarchy (innermost first, at least 2
+	// levels); L1D/L2C/LLC are then ignored. Result reports the
+	// innermost level as L1D, the outermost as LLC, and level 1 as L2C
+	// when the hierarchy has three or more levels.
+	Levels []LevelSpec
+
+	// NonInclusiveLLC disables LLC back-invalidation in the classic
+	// 3-level hierarchy, matching ChampSim's default non-inclusive
+	// LLC. Ignored when Levels is set — use LevelSpec.Inclusive there.
+	NonInclusiveLLC bool
+
 	// Warmup is the number of instructions simulated before statistics
 	// are reset (the paper uses 50M; scaled runs use less).
 	Warmup uint64
 	// Measure is the number of instructions measured after warm-up;
 	// 0 measures to the end of the trace.
 	Measure uint64
+
+	// MaxTraceWraps bounds how many times a trace is replayed from the
+	// start when it ends before a core's measurement window does
+	// (multicore mixes). 0 means DefaultMaxTraceWraps; negative is
+	// rejected by Validate.
+	MaxTraceWraps int
 }
+
+// DefaultMaxTraceWraps is the trace-replay bound used when
+// Config.MaxTraceWraps is 0.
+const DefaultMaxTraceWraps = 1000
 
 // DefaultConfig returns the paper's Table IV system: 4GHz 4-wide core
 // with a 352-entry ROB, 48KB/12-way L1D (5 cyc), 512KB/8-way L2 (10
@@ -49,12 +87,27 @@ func DefaultConfig() Config {
 	}
 }
 
+// hierarchy resolves the configured cache hierarchy, innermost first.
+// With no explicit Levels it is the classic private L1D/L2C over a
+// shared LLC, inclusive unless NonInclusiveLLC is set.
+func (c Config) hierarchy() []LevelSpec {
+	if len(c.Levels) > 0 {
+		return c.Levels
+	}
+	return []LevelSpec{
+		{Cache: c.L1D},
+		{Cache: c.L2C},
+		{Cache: c.LLC, Shared: true, Inclusive: !c.NonInclusiveLLC},
+	}
+}
+
 // Fingerprint returns a canonical string identifying the complete
-// configuration. Config is all value types, so the rendered form
-// covers every field — system geometry, bandwidth, TLB, warm-up and
-// measure windows. Baseline caches and sweep job IDs key on it: any
-// configuration change yields a new fingerprint, so persisted results
-// are never served to a reconfigured run.
+// configuration. Config is all value types (Levels renders
+// element-wise), so the rendered form covers every field — system
+// geometry, bandwidth, TLB, warm-up and measure windows. Baseline
+// caches and sweep job IDs key on it: any configuration change yields
+// a new fingerprint, so persisted results are never served to a
+// reconfigured run.
 func (c Config) Fingerprint() string {
 	return fmt.Sprintf("%+v", c)
 }
@@ -82,20 +135,32 @@ func (c Config) Validate() error {
 	if err := c.Core.Validate(); err != nil {
 		return err
 	}
-	for _, cc := range []cache.Config{c.L1D, c.L2C, c.LLC} {
-		if err := cc.Validate(); err != nil {
+	levels := c.hierarchy()
+	if len(levels) < 2 {
+		return fmt.Errorf("sim: hierarchy needs at least 2 levels, got %d", len(levels))
+	}
+	if levels[0].Shared {
+		return fmt.Errorf("sim: the innermost cache level must be core-private")
+	}
+	shared := false
+	for i, lv := range levels {
+		if err := lv.Cache.Validate(); err != nil {
 			return err
 		}
+		if shared && !lv.Shared {
+			return fmt.Errorf("sim: shared levels must form a suffix of the hierarchy (level %d is private below a shared level)", i)
+		}
+		shared = shared || lv.Shared
+		if i > 0 && levels[i-1].Cache.SizeBytes() >= lv.Cache.SizeBytes() {
+			return fmt.Errorf("sim: hierarchy must grow monotonically (%d bytes at level %d, %d bytes at level %d)",
+				levels[i-1].Cache.SizeBytes(), i-1, lv.Cache.SizeBytes(), i)
+		}
+	}
+	if c.MaxTraceWraps < 0 {
+		return fmt.Errorf("sim: MaxTraceWraps must be >= 0, got %d", c.MaxTraceWraps)
 	}
 	if err := c.DRAM.Validate(); err != nil {
 		return err
 	}
-	if err := c.TLB.Validate(); err != nil {
-		return err
-	}
-	if c.L1D.SizeBytes() >= c.L2C.SizeBytes() || c.L2C.SizeBytes() >= c.LLC.SizeBytes() {
-		return fmt.Errorf("sim: hierarchy must grow monotonically (%d, %d, %d bytes)",
-			c.L1D.SizeBytes(), c.L2C.SizeBytes(), c.LLC.SizeBytes())
-	}
-	return nil
+	return c.TLB.Validate()
 }

@@ -77,6 +77,8 @@ func TestInclusionMaintained(t *testing.T) {
 	// Probe a sample of recently accessed lines: anything in L1D must
 	// be in the LLC (inclusive hierarchy).
 	src.Reset()
+	c := s.Machine().Core(0)
+	l1d, llc := c.CacheAt(0), c.CacheAt(s.Machine().Levels()-1)
 	violations := 0
 	for i := 0; i < 5000; i++ {
 		r, ok := src.Next()
@@ -84,7 +86,7 @@ func TestInclusionMaintained(t *testing.T) {
 			break
 		}
 		line := r.Addr.Line()
-		if s.l1d.Contains(line) && !s.llc.Contains(line) {
+		if l1d.Contains(line) && !llc.Contains(line) {
 			violations++
 		}
 	}

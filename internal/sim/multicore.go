@@ -1,222 +1,58 @@
 package sim
 
 import (
-	"fmt"
-
-	"pmp/internal/cache"
-	"pmp/internal/cpu"
-	"pmp/internal/dram"
-	"pmp/internal/mem"
 	"pmp/internal/prefetch"
-	"pmp/internal/tlb"
 	"pmp/internal/trace"
 )
 
 // Multicore simulates N cores, each with a private L1D/L2 hierarchy and
 // prefetcher, sharing an inclusive LLC and the DRAM channels — the
-// paper's 4-core configuration (Table IV: 8GB, 2 channels).
+// paper's 4-core configuration (Table IV: 8GB, 2 channels). It is a
+// Machine with trace replay enabled (multi-programmed-mix semantics).
 type Multicore struct {
-	cfg   Config
-	llc   *cache.Cache
-	mem   *dram.DRAM
-	cores []*System
+	mach *Machine
 }
 
 // NewMulticore builds an n-core system; prefetchers supplies one
 // prefetcher per core. It panics on invalid configuration.
 func NewMulticore(cfg Config, prefetchers []prefetch.Prefetcher) *Multicore {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	if len(prefetchers) == 0 {
-		panic("sim: multicore needs at least one prefetcher")
-	}
-	m := &Multicore{
-		cfg: cfg,
-		llc: cache.New(cfg.LLC),
-		mem: dram.New(cfg.DRAM),
-	}
-	for i, pf := range prefetchers {
-		s := &System{
-			cfg:       cfg,
-			core:      cpu.New(cfg.Core),
-			l1d:       cache.New(cfg.L1D),
-			l2c:       cache.New(cfg.L2C),
-			llc:       m.llc,
-			mem:       m.mem,
-			dtlb:      tlb.New(cfg.TLB),
-			pf:        pf,
-			coreIndex: uint64(i),
-		}
-		s.backInv = m.broadcastInvalidate
-		s.wireFeedback()
-		s.pq1 = newPQTracker(cfg.L1D.PQSize)
-		s.pq2 = newPQTracker(cfg.L2C.PQSize)
-		s.pqL = newPQTracker(cfg.LLC.PQSize)
-		s.initScratch()
-		m.cores = append(m.cores, s)
-	}
+	m := &Multicore{mach: NewMachine(cfg, prefetchers)}
+	m.mach.SetTraceReplay(true)
 	return m
 }
 
-// broadcastInvalidate back-invalidates a line from every core's private
-// levels (shared inclusive LLC).
-func (m *Multicore) broadcastInvalidate(line mem.Addr) {
-	for _, s := range m.cores {
-		s.invalidateUpper(line)
-	}
-}
+// Machine returns the underlying N-core machine.
+func (m *Multicore) Machine() *Machine { return m.mach }
 
 // EnableLifecycleTracing turns on per-request prefetch lifecycle
 // tracking on every core (see System.EnableLifecycleTracing). The
 // shared LLC fans its lifecycle events out to every core's tracker;
 // each tracker resolves only the requests it issued, so per-core
-// snapshots stay attributable. When two cores race a prefetch for the
-// same LLC line, both lifecycles resolve on the same event — a small
-// over-count that keeps the trackers independent. The optional sink is
-// shared by all cores.
+// snapshots stay attributable. The optional sink is shared by all
+// cores.
 func (m *Multicore) EnableLifecycleTracing(sink func(LifecycleEvent)) {
-	hooks := make([]func(cache.PrefetchEvent), len(m.cores))
-	for i, s := range m.cores {
-		s.EnableLifecycleTracing(sink)
-		hooks[i] = s.lt.cacheHook(prefetch.LevelLLC)
-	}
-	m.llc.PrefetchTrace = func(ev cache.PrefetchEvent) {
-		for _, h := range hooks {
-			h(ev)
-		}
-	}
+	m.mach.EnableLifecycleTracing(sink)
 }
 
 // LifecycleSnapshots returns each core's per-prefetcher lifecycle
 // aggregates (nil when tracing is off); AggregateLifecycle sums them.
 func (m *Multicore) LifecycleSnapshots() [][]LifecycleSnapshot {
-	if len(m.cores) == 0 || m.cores[0].lt == nil {
+	if m.mach.NumCores() == 0 || m.mach.Core(0).lt == nil {
 		return nil
 	}
-	out := make([][]LifecycleSnapshot, len(m.cores))
-	for i, s := range m.cores {
-		out[i] = s.LifecycleSnapshots()
+	out := make([][]LifecycleSnapshot, m.mach.NumCores())
+	for i := range out {
+		out[i] = m.mach.Core(i).LifecycleSnapshots()
 	}
 	return out
-}
-
-type coreState struct {
-	src        trace.Source
-	warm       bool
-	finished   bool
-	startCycle uint64
-	startInstr uint64
-	wraps      int
 }
 
 // Run replays one trace per core, interleaved by simulated time (the
 // core furthest behind in cycles steps next), and returns per-core
 // results. Traces that end before a core finishes its measurement
 // window are replayed from the start, as ChampSim does for
-// multi-programmed mixes. cfg.Measure must be > 0.
+// multi-programmed mixes, up to cfg.MaxTraceWraps times. cfg.Measure
+// must be > 0.
 func (m *Multicore) Run(traces []trace.Source) []Result {
-	if len(traces) != len(m.cores) {
-		panic(fmt.Sprintf("sim: %d traces for %d cores", len(traces), len(m.cores)))
-	}
-	if m.cfg.Measure == 0 {
-		panic("sim: multicore runs need cfg.Measure > 0")
-	}
-	states := make([]coreState, len(m.cores))
-	for i, src := range traces {
-		src.Reset()
-		states[i] = coreState{src: src}
-		m.cores[i].enableStats(false)
-	}
-	warmed := 0
-
-	for {
-		// Step the laggard unfinished core to keep simulated time aligned.
-		idx := -1
-		var minCycle uint64
-		for i, st := range states {
-			if st.finished {
-				continue
-			}
-			c := m.cores[i].core.Cycle()
-			if idx == -1 || c < minCycle {
-				idx, minCycle = i, c
-			}
-		}
-		if idx == -1 {
-			break
-		}
-		s, st := m.cores[idx], &states[idx]
-
-		r, ok := st.src.Next()
-		if !ok {
-			st.src.Reset()
-			st.wraps++
-			if r, ok = st.src.Next(); !ok || st.wraps > 1000 {
-				st.finished = true
-				continue
-			}
-		}
-		if !st.warm && s.core.Dispatched() >= m.cfg.Warmup {
-			st.warm = true
-			// Private structures reset per core; the shared LLC and DRAM
-			// reset once, when the last core leaves warm-up.
-			s.l1d.ResetStats()
-			s.l2c.ResetStats()
-			s.dtlb.ResetStats()
-			s.pfStats = PrefetchIssueStats{}
-			if s.lt != nil {
-				s.lt.reset()
-			}
-			s.statsOn = true
-			s.l1d.EnableStats(true)
-			s.l2c.EnableStats(true)
-			s.dtlb.EnableStats(true)
-			st.startCycle = s.core.Cycle()
-			st.startInstr = s.core.Dispatched()
-			warmed++
-			if warmed == len(m.cores) {
-				m.llc.EnableStats(true)
-				m.mem.EnableStats(true)
-				m.llc.ResetStats()
-				m.mem.ResetStats()
-			}
-		}
-		if st.warm && s.core.Dispatched()-st.startInstr >= m.cfg.Measure {
-			st.finished = true
-			continue
-		}
-		s.step(r)
-	}
-
-	results := make([]Result, len(m.cores))
-	for i, s := range m.cores {
-		st := states[i]
-		end := s.core.Drain()
-		var cycles uint64
-		if end >= st.startCycle {
-			cycles = end - st.startCycle
-		}
-		var lifecycle []LifecycleSnapshot
-		if s.lt != nil {
-			s.lt.flushOpen()
-			lifecycle = s.lt.snapshots()
-		}
-		results[i] = Result{
-			Trace:        st.src.Name(),
-			Prefetcher:   s.pf.Name(),
-			Instructions: s.core.Dispatched() - st.startInstr,
-			Cycles:       cycles,
-			L1D:          s.l1d.Stats(),
-			L2C:          s.l2c.Stats(),
-			// The LLC and DRAM are shared: their stats describe the
-			// whole mix and repeat in every per-core result.
-			LLC:       m.llc.Stats(),
-			DRAM:      m.mem.Stats(),
-			TLB:       s.dtlb.Stats(),
-			PF:        s.pfStats,
-			Lifecycle: lifecycle,
-		}
-	}
-	return results
+	return m.mach.Run(traces)
 }

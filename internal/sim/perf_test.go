@@ -13,12 +13,12 @@ import (
 // invariant: the benchmarks report allocs/op and the AllocsPerRun
 // tests fail the build if a per-access allocation sneaks back in.
 
-// stepWorkload primes a system with enough of a trace that every
+// stepWorkload primes a core with enough of a trace that every
 // structure (caches, pattern tables, prefetch buffer, MSHR files) has
 // reached steady state, then returns records to replay.
-func stepWorkload(tb testing.TB, pf prefetch.Prefetcher) (*System, []trace.Record) {
+func stepWorkload(tb testing.TB, pf prefetch.Prefetcher) (*Core, []trace.Record) {
 	tb.Helper()
-	s := NewSystem(quickConfig(), pf)
+	c := NewSystem(quickConfig(), pf).Machine().Core(0)
 	src := streamTrace(40_000)
 	var records []trace.Record
 	for {
@@ -29,9 +29,9 @@ func stepWorkload(tb testing.TB, pf prefetch.Prefetcher) (*System, []trace.Recor
 		records = append(records, r)
 	}
 	for _, r := range records[:30_000] {
-		s.step(r)
+		c.step(r)
 	}
-	return s, records[30_000:]
+	return c, records[30_000:]
 }
 
 func TestStepDoesNotAllocate(t *testing.T) {

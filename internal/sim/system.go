@@ -2,9 +2,7 @@ package sim
 
 import (
 	"pmp/internal/cache"
-	"pmp/internal/cpu"
 	"pmp/internal/dram"
-	"pmp/internal/mem"
 	"pmp/internal/prefetch"
 	"pmp/internal/tlb"
 	"pmp/internal/trace"
@@ -60,140 +58,23 @@ func (r Result) MPKI() float64 {
 	return float64(r.LLC.DemandMisses) / float64(r.Instructions) * 1000
 }
 
-// System is a single-core simulated machine. Construct with NewSystem.
+// System is a single-core simulated machine: a 1-core Machine with the
+// classic single-trace Run signature. Construct with NewSystem.
 type System struct {
-	cfg  Config
-	core *cpu.Core
-	l1d  *cache.Cache
-	l2c  *cache.Cache
-	llc  *cache.Cache
-	mem  *dram.DRAM
-	dtlb *tlb.TLB
-	pf   prefetch.Prefetcher
-
-	// llcPF, when non-nil, is a prefetcher attached at the LLC: it
-	// trains on LLC demand accesses (L2 misses) and its requests fill
-	// the LLC only — the placement the paper's §V-B uses for "original
-	// Bingo at LLC".
-	llcPF prefetch.Prefetcher
-
-	pfStats   PrefetchIssueStats
-	statsOn   bool
-	coreIndex uint64 // used by multicore to interleave DRAM channels
-
-	// lt, when non-nil, tracks every prefetch request from issue to
-	// resolution (timely/late/useless/redundant). Nil keeps the hot
-	// path free of tracing work.
-	lt *lifecycleTracker
-
-	// Per-level prefetch queues: staging queues between the prefetcher
-	// and the cache pipeline. An entry is occupied from issue until the
-	// cache accepts the request (one access latency), so the PQ bounds
-	// the short-term issue rate while the MSHRs bound in-flight depth —
-	// matching ChampSim's structure.
-	pq1, pq2, pqL pqTracker
-
-	// backInv handles inclusive-LLC back-invalidation. Single-core
-	// systems invalidate their own upper levels; a multicore broadcasts
-	// across every core sharing the LLC.
-	backInv func(line mem.Addr)
-
-	// Dependency tracking: prevDone is the completion cycle of the
-	// immediately preceding load; chainDone tracks completions per
-	// (hashed) PC. Pointer chases serialize on their own chain while
-	// independent walkers keep their memory-level parallelism.
-	prevDone  uint64
-	chainDone [64]uint64
-
-	// Scratch buffers reused by the issue paths so a steady-state
-	// access allocates nothing (see prefetch.BulkIssuer). issueBuf
-	// backs issuePrefetches, issueBufLLC backs issueLLCPrefetches —
-	// separate because an LLC drain can run while a demand access is
-	// still between lookup and issue.
-	issueBuf    []prefetch.Request
-	issueBufLLC []prefetch.Request
+	mach *Machine
 }
 
 // NewSystem builds a system around the prefetcher; it panics on invalid
 // configuration. Pass prefetch.Nop{} for the non-prefetching baseline.
 func NewSystem(cfg Config, pf prefetch.Prefetcher) *System {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	s := &System{
-		cfg:  cfg,
-		core: cpu.New(cfg.Core),
-		l1d:  cache.New(cfg.L1D),
-		l2c:  cache.New(cfg.L2C),
-		llc:  cache.New(cfg.LLC),
-		mem:  dram.New(cfg.DRAM),
-		dtlb: tlb.New(cfg.TLB),
-		pf:   pf,
-	}
-	s.backInv = s.invalidateUpper
-	s.wireFeedback()
-	s.pq1 = newPQTracker(cfg.L1D.PQSize)
-	s.pq2 = newPQTracker(cfg.L2C.PQSize)
-	s.pqL = newPQTracker(cfg.LLC.PQSize)
-	s.initScratch()
-	return s
+	return &System{mach: NewMachine(cfg, []prefetch.Prefetcher{pf})}
 }
 
-// initScratch sizes the issue-path scratch buffers to the largest
-// possible single drain so steady-state appends never grow them.
-func (s *System) initScratch() {
-	s.issueBuf = make([]prefetch.Request, 0, max(s.cfg.L1D.PQSize, 1))
-	s.issueBufLLC = make([]prefetch.Request, 0, max(s.cfg.LLC.PQSize, 1))
-}
-
-// pqTracker bounds in-flight prefetches at one level.
-type pqTracker struct {
-	done []uint64 // completion cycles of occupied entries
-}
-
-func newPQTracker(capacity int) pqTracker {
-	return pqTracker{done: make([]uint64, 0, capacity)}
-}
-
-// free reports whether an entry is available at `now`, pruning
-// completed entries.
-func (p *pqTracker) free(now uint64) bool {
-	live := p.done[:0]
-	for _, d := range p.done {
-		if d > now {
-			live = append(live, d)
-		}
-	}
-	p.done = live
-	return len(p.done) < cap(p.done)
-}
-
-func (p *pqTracker) add(done uint64) { p.done = append(p.done, done) }
-
-// invalidateUpper removes a line from this core's private levels.
-func (s *System) invalidateUpper(line mem.Addr) {
-	s.l2c.Invalidate(line)
-	if s.l1d.Invalidate(line) {
-		s.pf.OnEvict(line)
-	}
-}
-
-// wireFeedback routes prefetched-line outcomes back to the prefetcher
-// (SPP+PPF and Pythia learn from them).
-func (s *System) wireFeedback() {
-	s.l1d.PrefetchOutcome = func(line mem.Addr, useful bool) {
-		s.pf.OnFill(line, prefetch.LevelL1, useful)
-	}
-	s.l2c.PrefetchOutcome = func(line mem.Addr, useful bool) {
-		s.pf.OnFill(line, prefetch.LevelL2, useful)
-	}
-	s.llc.PrefetchOutcome = func(line mem.Addr, useful bool) {
-		s.pf.OnFill(line, prefetch.LevelLLC, useful)
-	}
-}
+// Machine returns the underlying 1-core machine.
+func (s *System) Machine() *Machine { return s.mach }
 
 // Prefetcher returns the attached L1D prefetcher.
-func (s *System) Prefetcher() prefetch.Prefetcher { return s.pf }
+func (s *System) Prefetcher() prefetch.Prefetcher { return s.mach.Core(0).Prefetcher() }
 
 // EnableLifecycleTracing turns on per-request prefetch lifecycle
 // tracking: every prefetch is followed from issue through fill to its
@@ -203,384 +84,29 @@ func (s *System) Prefetcher() prefetch.Prefetcher { return s.pf }
 // LifecycleEvent per resolved request (pass nil to keep aggregates
 // only). Call before Run; the Result then carries the snapshots.
 func (s *System) EnableLifecycleTracing(sink func(LifecycleEvent)) {
-	s.lt = newLifecycleTracker(sink)
-	s.l1d.PrefetchTrace = s.lt.cacheHook(prefetch.LevelL1)
-	s.l2c.PrefetchTrace = s.lt.cacheHook(prefetch.LevelL2)
-	s.llc.PrefetchTrace = s.lt.cacheHook(prefetch.LevelLLC)
+	s.mach.EnableLifecycleTracing(sink)
 }
 
 // LifecycleSnapshots returns the current per-prefetcher lifecycle
 // aggregates (nil when tracing is off). Run also stores them in its
 // Result.
 func (s *System) LifecycleSnapshots() []LifecycleSnapshot {
-	if s.lt == nil {
-		return nil
-	}
-	return s.lt.snapshots()
+	return s.mach.Core(0).LifecycleSnapshots()
 }
 
 // AttachLLCPrefetcher installs a prefetcher at the LLC. It observes
 // LLC demand accesses (with the PC of the originating load), fills the
 // LLC only, and is notified of LLC evictions. Call before Run.
 func (s *System) AttachLLCPrefetcher(pf prefetch.Prefetcher) {
-	s.llcPF = pf
-}
-
-func (s *System) enableStats(on bool) {
-	s.statsOn = on
-	s.l1d.EnableStats(on)
-	s.l2c.EnableStats(on)
-	s.llc.EnableStats(on)
-	s.mem.EnableStats(on)
-	s.dtlb.EnableStats(on)
-}
-
-func (s *System) resetStats() {
-	s.l1d.ResetStats()
-	s.l2c.ResetStats()
-	s.llc.ResetStats()
-	s.mem.ResetStats()
-	s.dtlb.ResetStats()
-	s.pfStats = PrefetchIssueStats{}
-	if s.lt != nil {
-		s.lt.reset()
-	}
+	c := s.mach.Core(0)
+	c.AttachPrefetcher(len(c.levels)-1, pf)
 }
 
 // Run replays the trace and returns the measured result. The first
-// cfg.Warmup instructions run with statistics frozen; measurement then
-// covers cfg.Measure instructions (or the rest of the trace if 0).
+// cfg.Warmup instructions run outside the measurement window (counters
+// reset at the warm-up boundary); measurement then covers cfg.Measure
+// instructions (or the rest of the trace if 0). A trace shorter than
+// the warm-up window is measured in full.
 func (s *System) Run(src trace.Source) Result {
-	src.Reset()
-	s.enableStats(false)
-
-	var startCycle, startInstr uint64
-	warm := false
-	for {
-		r, ok := src.Next()
-		if !ok {
-			break
-		}
-		if !warm && s.core.Dispatched() >= s.cfg.Warmup {
-			warm = true
-			s.resetStats()
-			s.enableStats(true)
-			startCycle = s.core.Cycle()
-			startInstr = s.core.Dispatched()
-		}
-		if warm && s.cfg.Measure > 0 && s.core.Dispatched()-startInstr >= s.cfg.Measure {
-			break
-		}
-		s.step(r)
-	}
-	endCycle := s.core.Drain()
-	if !warm {
-		// Trace shorter than warm-up: measure everything.
-		startCycle, startInstr = 0, 0
-	}
-	var cycles uint64
-	if endCycle >= startCycle {
-		cycles = endCycle - startCycle
-	}
-	var lifecycle []LifecycleSnapshot
-	if s.lt != nil {
-		s.lt.flushOpen()
-		lifecycle = s.lt.snapshots()
-	}
-	return Result{
-		Trace:        src.Name(),
-		Prefetcher:   s.pf.Name(),
-		Instructions: s.core.Dispatched() - startInstr,
-		Cycles:       cycles,
-		L1D:          s.l1d.Stats(),
-		L2C:          s.l2c.Stats(),
-		LLC:          s.llc.Stats(),
-		DRAM:         s.mem.Stats(),
-		TLB:          s.dtlb.Stats(),
-		PF:           s.pfStats,
-		Lifecycle:    lifecycle,
-	}
-}
-
-// step dispatches one trace record: its leading non-memory instructions
-// and the load itself. Address-dependent loads wait for the previous
-// load's data before issuing to the memory hierarchy.
-func (s *System) step(r trace.Record) {
-	if r.Gap > 0 {
-		s.core.DispatchNonLoads(int(r.Gap))
-	}
-	s.core.DispatchLoad(func(issue uint64) uint64 {
-		chain := mem.HashPC(r.PC, 6)
-		switch r.Dep {
-		case trace.DepPrev:
-			if s.prevDone > issue {
-				issue = s.prevDone
-			}
-		case trace.DepChain:
-			if s.chainDone[chain] > issue {
-				issue = s.chainDone[chain]
-			}
-		}
-		done := s.demandAccess(r.PC, r.Addr, issue)
-		s.chainDone[chain] = done
-		s.prevDone = done
-		return done
-	})
-}
-
-// demandAccess services a demand load, trains the prefetcher, and lets
-// it issue; it returns the data-ready cycle. Address translation
-// happens first: TLB misses delay the cache access.
-func (s *System) demandAccess(pc uint64, addr mem.Addr, now uint64) uint64 {
-	now += s.dtlb.Translate(addr)
-	line := addr.Line()
-	done, hit := s.lookupL1(line, now, pc)
-	s.pf.Train(prefetch.Access{PC: pc, Addr: addr, Cycle: now, Hit: hit})
-	s.issuePrefetches(now)
-	return done
-}
-
-// lookupL1 performs the demand path at L1D, walking the lower hierarchy
-// on a miss.
-func (s *System) lookupL1(line mem.Addr, now uint64, pc uint64) (uint64, bool) {
-	if hit, ready := s.l1d.Lookup(line, now, true); hit {
-		return ready, true
-	}
-	if done, ok := s.l1d.InFlight(line, now); ok {
-		return done, false // merged onto an outstanding miss
-	}
-	// Demand misses stall (rather than drop) when the MSHR file is full.
-	t := now
-	for !s.l1d.ReserveMSHR(line, t, t+1, true) {
-		next, ok := s.l1d.EarliestCompletion(t)
-		if !ok {
-			break
-		}
-		t = next
-	}
-	done := s.fetchL2(line, t+s.cfg.L1D.Latency, true, false, pc)
-	s.l1d.ReserveMSHR(line, t, done, true) // update the reserved completion
-	s.fillL1(line, done, false)
-	return done, false
-}
-
-// fetchL2 returns the cycle the line is available from L2 (walking LLC
-// and DRAM as needed). demand marks demand-initiated walks for the
-// stats; pf marks prefetch-initiated fills.
-func (s *System) fetchL2(line mem.Addr, t uint64, demand, pf bool, pc uint64) uint64 {
-	if hit, ready := s.l2c.Lookup(line, t, demand); hit {
-		return ready
-	}
-	if done, ok := s.l2c.InFlight(line, t); ok {
-		return done
-	}
-	done := s.fetchLLC(line, t+s.cfg.L2C.Latency, demand, pf, pc)
-	s.l2c.ReserveMSHR(line, t, done, demand)
-	s.fillL2(line, done, pf)
-	return done
-}
-
-// fetchLLC returns the cycle the line is available from the LLC.
-func (s *System) fetchLLC(line mem.Addr, t uint64, demand, pf bool, pc uint64) uint64 {
-	if demand && s.llcPF != nil {
-		defer s.issueLLCPrefetches(t)
-	}
-	if hit, ready := s.llc.Lookup(line, t, demand); hit {
-		if demand && s.llcPF != nil {
-			s.llcPF.Train(prefetch.Access{PC: pc, Addr: line, Cycle: t, Hit: true})
-		}
-		return ready
-	}
-	if done, ok := s.llc.InFlight(line, t); ok {
-		return done
-	}
-	if demand && s.llcPF != nil {
-		s.llcPF.Train(prefetch.Access{PC: pc, Addr: line, Cycle: t, Hit: false})
-	}
-	done := s.mem.Access(line.LineID()+s.coreIndex, t+s.cfg.LLC.Latency, demand)
-	s.llc.ReserveMSHR(line, t, done, demand)
-	s.fillLLC(line, done, pf)
-	return done
-}
-
-// issueLLCPrefetches drains the LLC-attached prefetcher; its requests
-// always fill the LLC regardless of their nominal level.
-func (s *System) issueLLCPrefetches(now uint64) {
-	src := ""
-	if s.lt != nil {
-		src = s.llcPF.Name()
-	}
-	for budget := s.cfg.LLC.PQSize; budget > 0; budget-- {
-		reqs := prefetch.IssueInto(s.llcPF, s.issueBufLLC[:0], 1)
-		s.issueBufLLC = reqs[:0]
-		if len(reqs) == 0 {
-			return
-		}
-		r := reqs[0]
-		r.Level = prefetch.LevelLLC
-		if !s.prefetchOne(r, now, src) {
-			if rq, ok := s.llcPF.(prefetch.Requeuer); ok {
-				rq.Requeue(reqs[0])
-			}
-			return
-		}
-	}
-}
-
-// fillL1 inserts into the L1D, notifying the prefetcher of the eviction
-// (SMS-style accumulation closes on region eviction).
-func (s *System) fillL1(line mem.Addr, ready uint64, pf bool) {
-	ev := s.l1d.Fill(line, ready, pf)
-	if ev.Kind == cache.EvictClean {
-		s.pf.OnEvict(ev.Line)
-	}
-}
-
-func (s *System) fillL2(line mem.Addr, ready uint64, pf bool) {
-	s.l2c.Fill(line, ready, pf)
-}
-
-// fillLLC inserts into the inclusive LLC; displaced lines are
-// back-invalidated from the upper levels.
-func (s *System) fillLLC(line mem.Addr, ready uint64, pf bool) {
-	ev := s.llc.Fill(line, ready, pf)
-	if ev.Kind == cache.EvictClean {
-		s.backInv(ev.Line)
-		if s.llcPF != nil {
-			s.llcPF.OnEvict(ev.Line)
-		}
-	}
-}
-
-// issuePrefetches drains the prefetcher into the hierarchy, bounded by
-// the L1D prefetch queue size per demand access.
-//
-// Prefetchers that support requeueing get the paper's PB
-// suspend/resume semantics: unadmitted requests go back and are
-// retried on a later access, without blocking requests for other
-// levels behind them. For queue-only prefetchers a failed admission
-// stops this round, leaving the remaining requests in their internal
-// queue for the next access.
-func (s *System) issuePrefetches(now uint64) {
-	src := ""
-	if s.lt != nil {
-		src = s.pf.Name()
-	}
-	if rq, ok := s.pf.(prefetch.Requeuer); ok {
-		reqs := prefetch.IssueInto(s.pf, s.issueBuf[:0], s.cfg.L1D.PQSize)
-		s.issueBuf = reqs[:0]
-		for _, r := range reqs {
-			if !s.prefetchOne(r, now, src) {
-				rq.Requeue(r)
-			}
-		}
-		return
-	}
-	for budget := s.cfg.L1D.PQSize; budget > 0; budget-- {
-		reqs := prefetch.IssueInto(s.pf, s.issueBuf[:0], 1)
-		s.issueBuf = reqs[:0]
-		if len(reqs) == 0 {
-			return
-		}
-		if !s.prefetchOne(reqs[0], now, src) {
-			return
-		}
-	}
-}
-
-// prefetchRoom reports whether the cache can accept a prefetch without
-// consuming its demand-reserved MSHR.
-func prefetchRoom(c *cache.Cache, now uint64) bool {
-	return c.MSHRBusy(now) < c.Config().MSHRs-1
-}
-
-// prefetchOne injects a single prefetch request at its target level. It
-// reports whether the request was admitted: requests for lines already
-// present or in flight are filtered (admitted, nothing to do); requests
-// without a free prefetch MSHR return false before consuming any
-// downstream bandwidth so the caller can requeue them. src names the
-// issuing prefetcher for lifecycle attribution (unused when tracing is
-// off).
-func (s *System) prefetchOne(r prefetch.Request, now uint64, src string) bool {
-	line := r.Addr.Line()
-	switch r.Level {
-	case prefetch.LevelL1:
-		if s.l1d.Contains(line) {
-			s.dropRedundant(r.Level, line, now, src)
-			return true
-		}
-		if _, ok := s.l1d.InFlight(line, now); ok {
-			s.dropRedundant(r.Level, line, now, src)
-			return true
-		}
-		if !s.pq1.free(now) || !prefetchRoom(s.l1d, now) {
-			s.pfStats.DroppedMSH++
-			return false
-		}
-		// Record the issue before the fill walk so the tracker can
-		// match the fill event it triggers. Like the other issue stats,
-		// lifecycles only accumulate inside the measurement window.
-		if s.lt != nil && s.statsOn {
-			s.lt.issued(src, r.Level, line, now)
-		}
-		done := s.fetchL2(line, now+s.cfg.L1D.Latency, false, true, 0)
-		s.l1d.ReserveMSHR(line, now, done, false)
-		s.pq1.add(now + s.cfg.L1D.Latency)
-		s.fillL1(line, done, true)
-	case prefetch.LevelL2:
-		if s.l2c.Contains(line) {
-			s.dropRedundant(r.Level, line, now, src)
-			return true
-		}
-		if _, ok := s.l2c.InFlight(line, now); ok {
-			s.dropRedundant(r.Level, line, now, src)
-			return true
-		}
-		if !s.pq2.free(now) || !prefetchRoom(s.l2c, now) {
-			s.pfStats.DroppedMSH++
-			return false
-		}
-		if s.lt != nil && s.statsOn {
-			s.lt.issued(src, r.Level, line, now)
-		}
-		done := s.fetchLLC(line, now+s.cfg.L2C.Latency, false, true, 0)
-		s.l2c.ReserveMSHR(line, now, done, false)
-		s.pq2.add(now + s.cfg.L2C.Latency)
-		s.fillL2(line, done, true)
-	case prefetch.LevelLLC:
-		if s.llc.Contains(line) {
-			s.dropRedundant(r.Level, line, now, src)
-			return true
-		}
-		if _, ok := s.llc.InFlight(line, now); ok {
-			s.dropRedundant(r.Level, line, now, src)
-			return true
-		}
-		if !s.pqL.free(now) || !prefetchRoom(s.llc, now) {
-			s.pfStats.DroppedMSH++
-			return false
-		}
-		if s.lt != nil && s.statsOn {
-			s.lt.issued(src, r.Level, line, now)
-		}
-		done := s.mem.Access(line.LineID()+s.coreIndex, now+s.cfg.LLC.Latency, false)
-		s.llc.ReserveMSHR(line, now, done, false)
-		s.pqL.add(now + s.cfg.LLC.Latency)
-		s.fillLLC(line, done, true)
-	default:
-		return true
-	}
-	if s.statsOn {
-		s.pfStats.Issued[r.Level]++
-	}
-	return true
-}
-
-// dropRedundant accounts a prefetch filtered at issue (line already
-// present or in flight at its target level).
-func (s *System) dropRedundant(level prefetch.Level, line mem.Addr, now uint64, src string) {
-	s.pfStats.DroppedPQ++
-	if s.lt != nil && s.statsOn {
-		s.lt.redundant(src, level, line, now)
-	}
+	return s.mach.Run([]trace.Source{src})[0]
 }
