@@ -6,6 +6,11 @@
 //
 //	go run ./cmd/pmplint ./...
 //	go run ./cmd/pmplint -analyzers magicgeometry,cyclemath ./internal/prefetchers/...
+//	go run ./cmd/pmplint -json ./... > lint.jsonl
+//
+// With -json, each diagnostic is emitted as one JSON object per line
+// ({"analyzer", "file", "line", "col", "message"}), for machine
+// consumption (the CI lint artifact).
 //
 // It also speaks the cmd/go vet-tool protocol, so after `go build -o
 // pmplint ./cmd/pmplint` it can run as:
@@ -17,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +47,7 @@ func main() {
 	var (
 		analyzerList = flag.String("analyzers", "", "comma-separated analyzers to run (default: all)")
 		list         = flag.Bool("list", false, "list available analyzers and exit")
+		jsonOut      = flag.Bool("json", false, "emit one JSON object per diagnostic on stdout")
 	)
 	flag.Parse()
 
@@ -82,11 +89,31 @@ func main() {
 		os.Exit(1)
 	}
 	diags := lint.Run(pkgs, analyzers)
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *jsonOut {
+			enc.Encode(jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+			continue
+		}
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "pmplint: %d issue(s) found\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonDiagnostic is the -json wire shape: one object per line.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
 }

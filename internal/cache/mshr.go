@@ -34,6 +34,8 @@ func newMSHRFile(capacity int) mshrFile {
 
 // find returns the slot index holding line, or -1. Stale entries
 // (done in the past) are found too, matching the map's behaviour.
+//
+//pmp:hotpath
 func (m *mshrFile) find(line mem.Addr) int {
 	for i := 0; i < m.n; i++ {
 		if m.slots[i].line == line {
@@ -45,6 +47,8 @@ func (m *mshrFile) find(line mem.Addr) int {
 
 // prune drops entries whose completion is at or before now and returns
 // the number still busy.
+//
+//pmp:hotpath
 func (m *mshrFile) prune(now uint64) int {
 	for i := 0; i < m.n; {
 		if m.slots[i].done <= now {
@@ -59,6 +63,8 @@ func (m *mshrFile) prune(now uint64) int {
 
 // inFlight reports whether a miss for the line is outstanding strictly
 // after now, and its completion cycle.
+//
+//pmp:hotpath
 func (m *mshrFile) inFlight(line mem.Addr, now uint64) (uint64, bool) {
 	i := m.find(line)
 	if i < 0 || m.slots[i].done <= now {
@@ -72,6 +78,8 @@ func (m *mshrFile) inFlight(line mem.Addr, now uint64) (uint64, bool) {
 // already holds an entry is refreshed unconditionally — the demand
 // path reserves a placeholder before the hierarchy walk computes the
 // real latency.
+//
+//pmp:hotpath
 func (m *mshrFile) reserve(line mem.Addr, now, done uint64, limit int) bool {
 	if i := m.find(line); i >= 0 {
 		m.slots[i].done = done
@@ -87,6 +95,8 @@ func (m *mshrFile) reserve(line mem.Addr, now, done uint64, limit int) bool {
 
 // earliest returns the soonest completion strictly after now, or false
 // when none is in flight.
+//
+//pmp:hotpath
 func (m *mshrFile) earliest(now uint64) (uint64, bool) {
 	best := ^uint64(0)
 	found := false

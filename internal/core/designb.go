@@ -191,6 +191,8 @@ func (d *DesignB) predict(trig sms.Trigger) {
 func (d *DesignB) Issue(max int) []prefetch.Request { return d.pb.Drain(max) }
 
 // IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+//
+//pmp:hotpath
 func (d *DesignB) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
 	return d.pb.DrainInto(dst, max)
 }

@@ -259,6 +259,8 @@ func (p *PMP) Issue(max int) []prefetch.Request {
 }
 
 // IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+//
+//pmp:hotpath
 func (p *PMP) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
 	return p.pb.DrainInto(dst, max)
 }

@@ -1,0 +1,508 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// This file is the cross-package half of the framework: an intra-module
+// call graph over every loaded package plus a per-function fact store,
+// mirroring the golang.org/x/tools/go/analysis Fact shape. Analyzers
+// that need whole-program views (hotalloc's hot-path reachability,
+// determinism's sink propagation) build on it; the original per-package
+// analyzers ignore it entirely.
+//
+// Packages are loaded and type-checked independently (each with its own
+// token.FileSet, dependencies coming from export data), so the same
+// function is represented by *different* types.Func objects in
+// different packages. Nodes are therefore keyed by the canonical
+// types.Func.FullName string ("(*pmp/internal/cache.Cache).Lookup"),
+// which is identical whether the object came from source or from
+// export data.
+
+// EdgeKind classifies how a call edge was resolved.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call to a package-level function.
+	EdgeStatic EdgeKind = iota
+	// EdgeMethod is a method call on a concrete receiver.
+	EdgeMethod
+	// EdgeInterface is a conservatively expanded interface dispatch:
+	// one edge per in-module method that can satisfy the call.
+	EdgeInterface
+)
+
+// Edge is one resolved call site.
+type Edge struct {
+	Caller *Func
+	Callee *Func
+	Kind   EdgeKind
+	Pos    token.Position // call site (zero for synthesized edges)
+}
+
+// Func is one node of the call graph: a declared function or method.
+// Functions defined outside the loaded packages (standard library,
+// export-data-only dependencies) get nodes too — so analyzers can test
+// for edges into time.Now or fmt.Fprintf — but carry no Decl or Pkg.
+type Func struct {
+	Key  string        // canonical types.Func.FullName
+	Pkg  *Package      // defining package; nil when external
+	Decl *ast.FuncDecl // body; nil when external
+
+	// HotRoot is set when the declaration carries a //pmp:hotpath
+	// annotation in its doc comment.
+	HotRoot bool
+
+	Callees []*Edge
+	Callers []*Edge
+}
+
+// Name returns a compact human-readable name ("(*Core).step").
+func (f *Func) Name() string {
+	key := f.Key
+	// Strip package paths from the receiver and name for display.
+	if i := strings.LastIndex(key, "/"); i >= 0 && !strings.Contains(key, ")") {
+		return key[i+1:]
+	}
+	if open := strings.Index(key, "("); open >= 0 {
+		if close := strings.Index(key, ")"); close > open {
+			recv := key[open+1 : close]
+			if i := strings.LastIndex(recv, "/"); i >= 0 {
+				recv = recv[i+1:]
+			}
+			return "(" + recv + ")" + key[close+1:]
+		}
+	}
+	return key
+}
+
+// Fact is a piece of per-function information an analyzer computes and
+// stores on the Program, mirroring golang.org/x/tools/go/analysis.Fact:
+// a pointer-to-struct with an AFact marker method. Facts are keyed by
+// (function, concrete fact type), so independent analyzers never
+// collide.
+type Fact interface{ AFact() }
+
+type factKey struct {
+	fn *Func
+	t  reflect.Type
+}
+
+// Program is the whole-module view: every loaded package, the call
+// graph spanning them, and the fact store. Build one with NewProgram
+// and share it across analyzers via Pass.Prog.
+type Program struct {
+	Pkgs  []*Package
+	funcs map[string]*Func
+
+	facts map[factKey]Fact
+
+	// singleUnit marks a Program built from one vet-tool unit: only one
+	// package's source is visible, so cross-package analyses degrade to
+	// intra-package scope and suppression-hygiene reporting is skipped
+	// (a directive may be "used" only via packages this unit can't see).
+	singleUnit bool
+
+	hotOnce   bool
+	hotInfo   map[*Func]hotPath
+	sinkOnce  bool
+	implCache map[*types.Interface][]*types.Named
+}
+
+// hotPath records how a function became hot-path reachable.
+type hotPath struct {
+	root *Func // the //pmp:hotpath annotated root
+	via  *Func // immediate caller on the BFS path (nil for the root itself)
+}
+
+// NewProgram builds the call graph for the loaded packages. Packages
+// are processed in dependency order (imports before importers) so
+// bottom-up fact computation sees callees first.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:  topoSort(pkgs),
+		funcs: map[string]*Func{},
+		facts: map[factKey]Fact{},
+	}
+	// Pass 1: declare every source function so call resolution can
+	// attach bodies regardless of package order.
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn := p.node(funcKey(obj))
+				fn.Pkg = pkg
+				fn.Decl = fd
+				fn.HotRoot = hasDirective(fd.Doc, "//pmp:hotpath")
+			}
+		}
+	}
+	// Pass 2: resolve call sites.
+	for _, pkg := range p.Pkgs {
+		p.addPackageEdges(pkg)
+	}
+	return p
+}
+
+// FuncByName returns the node whose canonical key is key, or nil.
+func (p *Program) FuncByName(key string) *Func { return p.funcs[key] }
+
+// Functions returns every node in deterministic key order.
+func (p *Program) Functions() []*Func {
+	keys := make([]string, 0, len(p.funcs))
+	for k := range p.funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Func, len(keys))
+	for i, k := range keys {
+		out[i] = p.funcs[k]
+	}
+	return out
+}
+
+// ExportFact stores fact for fn, replacing any existing fact of the
+// same concrete type.
+func (p *Program) ExportFact(fn *Func, fact Fact) {
+	p.facts[factKey{fn, reflect.TypeOf(fact)}] = fact
+}
+
+// ImportFact copies fn's fact of ptr's concrete type into ptr and
+// reports whether one was stored. ptr must be a pointer to a struct,
+// as with x/tools facts.
+func (p *Program) ImportFact(fn *Func, ptr Fact) bool {
+	got, ok := p.facts[factKey{fn, reflect.TypeOf(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// BottomUp visits every in-module function callees-first (post-order
+// over the call graph, cycles broken at the back edge), the order in
+// which bottom-up fact computation wants to run. Analyzers whose facts
+// must converge across cycles should iterate to a fixed point on top
+// of this ordering.
+func (p *Program) BottomUp(visit func(*Func)) {
+	seen := map[*Func]bool{}
+	var walk func(fn *Func)
+	walk = func(fn *Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		for _, e := range fn.Callees {
+			walk(e.Callee)
+		}
+		if fn.Decl != nil {
+			visit(fn)
+		}
+	}
+	for _, fn := range p.Functions() {
+		walk(fn)
+	}
+}
+
+// topoSort orders packages dependency-first (a package after every
+// package it imports), falling back to input order among unrelated
+// packages.
+func topoSort(pkgs []*Package) []*Package {
+	byPath := map[string]*Package{}
+	for _, pkg := range pkgs {
+		byPath[pkg.ImportPath] = pkg
+	}
+	var out []*Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(pkg *Package)
+	visit = func(pkg *Package) {
+		switch state[pkg.ImportPath] {
+		case 1, 2:
+			return
+		}
+		state[pkg.ImportPath] = 1
+		for _, imp := range pkg.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		state[pkg.ImportPath] = 2
+		out = append(out, pkg)
+	}
+	for _, pkg := range pkgs {
+		visit(pkg)
+	}
+	return out
+}
+
+// node returns (creating if needed) the Func for key.
+func (p *Program) node(key string) *Func {
+	fn, ok := p.funcs[key]
+	if !ok {
+		fn = &Func{Key: key}
+		p.funcs[key] = fn
+	}
+	return fn
+}
+
+// funcKey canonicalizes a types.Func to its node key. Instantiated
+// generic methods collapse onto their origin so one node covers every
+// instantiation.
+func funcKey(obj *types.Func) string {
+	if o := obj.Origin(); o != nil {
+		obj = o
+	}
+	return obj.FullName()
+}
+
+// hasDirective reports whether the comment group contains a line whose
+// text starts with the directive (exact or followed by a space).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// addPackageEdges resolves every call site in the package to edges.
+// Calls inside function literals are attributed to the enclosing
+// declared function — the closure runs on the caller's path. Calls
+// through plain function values (fields, parameters) are unresolvable
+// statically and are skipped: the graph under-approximates dynamic
+// dispatch through stored closures, and over-approximates interface
+// dispatch (every in-module implementation gets an edge).
+func (p *Program) addPackageEdges(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			caller := p.node(funcKey(obj))
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				p.addCallEdges(pkg, caller, call)
+				return true
+			})
+		}
+	}
+}
+
+// addCallEdges resolves one call expression into graph edges.
+func (p *Program) addCallEdges(pkg *Package, caller *Func, call *ast.CallExpr) {
+	pos := pkg.Fset.Position(call.Lparen)
+	for _, rc := range p.resolveCall(pkg, call) {
+		p.edge(caller, rc.fn, rc.kind, pos)
+	}
+}
+
+// resolvedCallee is one possible target of a call expression.
+type resolvedCallee struct {
+	fn   *Func
+	kind EdgeKind
+}
+
+// resolveCall resolves a call expression to its possible callees:
+// exactly one for direct and concrete-method calls, the interface
+// method plus every in-module implementation for interface dispatch,
+// and none for calls through plain function values (closures stored in
+// fields or passed as parameters), which are statically unresolvable.
+// Both the graph builder and the determinism analyzer's loop-body scan
+// share this resolution, so the two views can never disagree.
+func (p *Program) resolveCall(pkg *Package, call *ast.CallExpr) []resolvedCallee {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		// Direct call: package-level function from this or a dot-free
+		// import (builtins and type conversions resolve to non-Func
+		// objects and are skipped).
+		if obj, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return []resolvedCallee{{p.node(funcKey(obj)), EdgeStatic}}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			obj, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if types.IsInterface(sel.Recv()) {
+				// Interface dispatch: the interface method itself (so
+				// stdlib sinks like (io.Writer).Write stay visible)
+				// plus one callee per in-module implementation.
+				out := []resolvedCallee{{p.node(funcKey(obj)), EdgeInterface}}
+				if iface, _ := sel.Recv().Underlying().(*types.Interface); iface != nil {
+					for _, impl := range p.implementations(iface) {
+						mo, _, _ := types.LookupFieldOrMethod(impl, true, impl.Obj().Pkg(), obj.Name())
+						if m, ok := mo.(*types.Func); ok {
+							out = append(out, resolvedCallee{p.node(funcKey(m)), EdgeInterface})
+						}
+					}
+				}
+				return out
+			}
+			return []resolvedCallee{{p.node(funcKey(obj)), EdgeMethod}}
+		}
+		// Qualified call: pkg.Func (no selection entry).
+		if obj, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return []resolvedCallee{{p.node(funcKey(obj)), EdgeStatic}}
+		}
+	}
+	return nil
+}
+
+// implementations returns every named type declared in the loaded
+// packages that implements iface (by value or pointer receiver).
+// Results are memoized per interface: dispatch sites are common and
+// the scan walks every package scope.
+func (p *Program) implementations(iface *types.Interface) []*types.Named {
+	if impls, ok := p.implCache[iface]; ok {
+		return impls
+	}
+	var out []*types.Named
+	for _, pkg := range p.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, nm := range scope.Names() {
+			tn, ok := scope.Lookup(nm).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			if implementsCross(named, iface) {
+				out = append(out, named)
+			}
+		}
+	}
+	if p.implCache == nil {
+		p.implCache = map[*types.Interface][]*types.Named{}
+	}
+	p.implCache[iface] = out
+	return out
+}
+
+// implementsCross reports whether named (or *named) implements iface,
+// tolerating the two types coming from different type-check universes.
+// Each loaded package is checked independently, so the "same" named
+// type appears as distinct types.Object trees per package and
+// types.Implements — which compares objects by identity — reports
+// false across packages. The fallback compares method signatures
+// structurally, rendered with full package paths, which is identical
+// exactly when the toolchain would consider the types identical.
+func implementsCross(named *types.Named, iface *types.Interface) bool {
+	if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+		return true
+	}
+	n := iface.NumMethods()
+	if n == 0 {
+		return false // any matches nothing callable
+	}
+	for i := 0; i < n; i++ {
+		im := iface.Method(i)
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), im.Name())
+		m, ok := obj.(*types.Func)
+		if !ok || !sameSignature(m, im) {
+			return false
+		}
+	}
+	return true
+}
+
+// pathQual renders package names as full import paths, so type strings
+// from different universes compare equal iff the types are identical.
+func pathQual(p *types.Package) string { return p.Path() }
+
+// sameSignature compares two methods' signatures structurally,
+// ignoring the receiver.
+func sameSignature(a, b *types.Func) bool {
+	return types.TypeString(stripRecv(a), pathQual) == types.TypeString(stripRecv(b), pathQual)
+}
+
+// stripRecv returns the method's signature with the receiver removed.
+func stripRecv(f *types.Func) types.Type {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return f.Type()
+	}
+	return types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+}
+
+// edge links caller -> callee, deduplicating repeated resolutions of
+// the same (caller, callee, kind) triple.
+func (p *Program) edge(caller, callee *Func, kind EdgeKind, pos token.Position) {
+	for _, e := range caller.Callees {
+		if e.Callee == callee && e.Kind == kind {
+			return
+		}
+	}
+	e := &Edge{Caller: caller, Callee: callee, Kind: kind, Pos: pos}
+	caller.Callees = append(caller.Callees, e)
+	callee.Callers = append(callee.Callers, e)
+}
+
+// --- hot-path reachability (used by hotalloc) ---
+
+// HotPathRoots returns every //pmp:hotpath annotated function, in key
+// order.
+func (p *Program) HotPathRoots() []*Func {
+	var roots []*Func
+	for _, fn := range p.Functions() {
+		if fn.HotRoot {
+			roots = append(roots, fn)
+		}
+	}
+	return roots
+}
+
+// HotPath reports whether fn is reachable from a //pmp:hotpath root,
+// and if so the root and the immediate caller on the discovery path
+// (via == nil when fn is itself a root). The reachability closure is
+// computed once per Program.
+func (p *Program) HotPath(fn *Func) (root, via *Func, hot bool) {
+	if !p.hotOnce {
+		p.hotOnce = true
+		p.hotInfo = map[*Func]hotPath{}
+		queue := p.HotPathRoots()
+		for _, r := range queue {
+			p.hotInfo[r] = hotPath{root: r}
+		}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			info := p.hotInfo[fn]
+			for _, e := range fn.Callees {
+				if _, seen := p.hotInfo[e.Callee]; seen {
+					continue
+				}
+				p.hotInfo[e.Callee] = hotPath{root: info.root, via: fn}
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	info, ok := p.hotInfo[fn]
+	return info.root, info.via, ok
+}

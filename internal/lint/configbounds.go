@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/constant"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -107,7 +108,13 @@ func checkConfigLiteral(pass *Pass, cl *ast.CompositeLit) {
 		patternLen = int(rb.val / 64)
 	}
 
-	for name, f := range fields {
+	names := make([]string, 0, len(fields))
+	for name := range fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fields[name]
 		switch {
 		case strings.HasSuffix(name, "Sets"):
 			if f.val < 1 || f.val&(f.val-1) != 0 {

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pmp/internal/lint"
+	"pmp/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotAlloc, linttest.Fixture(lint.HotAlloc))
+}

@@ -7,12 +7,14 @@ import (
 	"strings"
 )
 
-// walkStack traverses the file calling fn with each node and the stack
-// of its ancestors (outermost first, not including the node itself).
-// Returning false from fn skips the node's children.
-func walkStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+// walkStack traverses the subtree rooted at root (a file for whole-file
+// analyzers, a function body for the call-graph-scoped ones) calling fn
+// with each node and the stack of its ancestors (outermost first, not
+// including the node itself). Returning false from fn skips the node's
+// children.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
 	var stack []ast.Node
-	ast.Inspect(f, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true

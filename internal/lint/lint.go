@@ -2,15 +2,20 @@
 // pmplint analyzer suite that enforces this repository's simulator
 // invariants (line-aligned geometry arithmetic, saturating-counter
 // discipline, cycle-math underflow safety, configuration-literal
-// bounds, and the prefetch.Prefetcher implementation contract).
+// bounds, the prefetch.Prefetcher implementation contract, hot-path
+// allocation freedom, and output determinism).
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API shape
-// (Analyzer / Pass / Diagnostic) but is built only on the standard
-// library so the repository stays dependency-free: packages are loaded
-// with `go list -export` and type-checked with go/types using the
-// toolchain's export data for dependencies (see load.go). Analyzers are
-// compiled into cmd/pmplint, which runs standalone over package
-// patterns and also speaks the `go vet -vettool` protocol.
+// (Analyzer / Pass / Diagnostic / Fact) but is built only on the
+// standard library so the repository stays dependency-free: packages
+// are loaded with `go list -export` and type-checked with go/types
+// using the toolchain's export data for dependencies (see load.go).
+// On top of the per-package passes, a Program (see callgraph.go) spans
+// every loaded package with an intra-module call graph and a
+// per-function fact store, which the cross-package analyzers
+// (hotalloc, determinism) build on. Analyzers are compiled into
+// cmd/pmplint, which runs standalone over package patterns and also
+// speaks the `go vet -vettool` protocol.
 //
 // See docs/linting.md for what each analyzer checks and why the
 // invariant matters for the paper's hardware model.
@@ -38,9 +43,14 @@ type Analyzer struct {
 }
 
 // Pass carries one analyzed package to an Analyzer's Run function.
+// Prog is the whole-program view shared by every pass of a Run:
+// cross-package analyzers resolve the call graph and facts through it
+// but must report only diagnostics positioned in Pkg, so the combined
+// output is identical regardless of package order.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Prog     *Program
 
 	diags *[]Diagnostic
 }
@@ -80,6 +90,8 @@ func Analyzers() []*Analyzer {
 		Capacity,
 		PrefetcherImpl,
 		ConfigBounds,
+		HotAlloc,
+		Determinism,
 	}
 }
 
@@ -111,16 +123,34 @@ func ByName(names []string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run applies every analyzer to every package and returns the combined
-// findings sorted by position.
+// Run builds the whole-program view for the packages, applies every
+// analyzer, checks suppression hygiene, and returns the combined
+// findings in a deterministic total order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return runProgram(NewProgram(pkgs), analyzers)
+}
+
+// runProgram is the shared engine behind Run (whole module) and
+// RunVetUnit (one vet unit). Packages run in dependency order so
+// bottom-up fact computation in one pass is visible to later ones.
+func runProgram(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range prog.Pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &diags}
 			a.Run(pass)
 		}
 	}
+	if !prog.singleUnit {
+		reportUnusedDirectives(prog, analyzers, &diags)
+	}
+	return sortDiagnostics(diags)
+}
+
+// sortDiagnostics imposes the canonical total order — file, line,
+// column, analyzer, message — and drops exact duplicates, so output is
+// byte-identical across runs, package orders, and process schedules.
+func sortDiagnostics(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -132,9 +162,92 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// UnusedIgnoreName is the analyzer name suppression-hygiene
+// diagnostics are reported under.
+const UnusedIgnoreName = "unusedignore"
+
+// reportUnusedDirectives flags stale suppression comments: a
+// //lint:ignore directive none of whose named analyzers suppressed
+// anything this run, and a //pmp:allocok annotation no hotalloc
+// finding landed on. A stale directive silently masks the next real
+// regression on its line, so it must be deleted (or updated) rather
+// than accumulate.
+//
+// A //lint:ignore directive is only judged when every analyzer it
+// names ran ("all" directives require the full suite), and allocok
+// annotations only when hotalloc ran — a partial -analyzers run can
+// never prove a directive stale.
+func reportUnusedDirectives(prog *Program, analyzers []*Analyzer, diags *[]Diagnostic) {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range Analyzers() {
+		if !ran[a.Name] {
+			fullSuite = false
+			break
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, lines := range pkg.ignores {
+			for _, ln := range lines {
+				if ln.used {
+					continue
+				}
+				judgeable := true
+				for _, n := range ln.names {
+					if n == "all" && !fullSuite {
+						judgeable = false
+						break
+					}
+					if n != "all" && !ran[n] {
+						judgeable = false
+						break
+					}
+				}
+				if !judgeable {
+					continue
+				}
+				*diags = append(*diags, Diagnostic{
+					Analyzer: UnusedIgnoreName,
+					Pos:      ln.pos,
+					Message: fmt.Sprintf("unused //lint:ignore %s directive suppresses nothing; delete it",
+						strings.Join(ln.names, ",")),
+				})
+			}
+		}
+		if !ran[HotAlloc.Name] {
+			continue
+		}
+		for _, lines := range pkg.allocOKs {
+			for _, ln := range lines {
+				if ln.used {
+					continue
+				}
+				*diags = append(*diags, Diagnostic{
+					Analyzer: UnusedIgnoreName,
+					Pos:      ln.pos,
+					Message:  "unused //pmp:allocok annotation: no hot-path allocation lands here; delete it",
+				})
+			}
+		}
+	}
 }
 
 // ignoreDirective parses a "//lint:ignore <analyzer...> <reason>"
@@ -155,14 +268,15 @@ func ignoreDirective(c *ast.Comment) (names []string, ok bool) {
 
 // suppressed reports whether a diagnostic from the named analyzer at
 // position is covered by a lint:ignore directive on the same line or
-// the line immediately above it.
+// the line immediately above it, marking the directive used.
 func (p *Package) suppressed(analyzer string, pos token.Position) bool {
 	for _, line := range p.ignores[pos.Filename] {
-		if line.line != pos.Line && line.line != pos.Line-1 {
+		if line.pos.Line != pos.Line && line.pos.Line != pos.Line-1 {
 			continue
 		}
 		for _, n := range line.names {
 			if n == analyzer || n == "all" {
+				line.used = true
 				return true
 			}
 		}
@@ -170,24 +284,57 @@ func (p *Package) suppressed(analyzer string, pos token.Position) bool {
 	return false
 }
 
-type ignoreLine struct {
-	line  int
-	names []string
+// allocOK reports whether a hotalloc finding at position is covered by
+// a //pmp:allocok annotation on the same line or the line immediately
+// above it, marking the annotation used.
+func (p *Package) allocOK(pos token.Position) bool {
+	for _, line := range p.allocOKs[pos.Filename] {
+		if line.pos.Line == pos.Line || line.pos.Line == pos.Line-1 {
+			line.used = true
+			return true
+		}
+	}
+	return false
 }
 
-// collectIgnores indexes every lint:ignore directive by file and line.
+// directiveLine is one suppression comment: a //lint:ignore directive
+// (names set) or a //pmp:allocok annotation.
+type directiveLine struct {
+	pos   token.Position
+	names []string
+	used  bool
+}
+
+// collectIgnores indexes every lint:ignore and pmp:allocok directive
+// by file and line.
 func (p *Package) collectIgnores() {
-	p.ignores = map[string][]ignoreLine{}
+	p.ignores = map[string][]*directiveLine{}
+	p.allocOKs = map[string][]*directiveLine{}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names, ok := ignoreDirective(c)
-				if !ok {
+				pos := p.Fset.Position(c.Pos())
+				if names, ok := ignoreDirective(c); ok {
+					p.ignores[pos.Filename] = append(p.ignores[pos.Filename],
+						&directiveLine{pos: pos, names: names})
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
-				p.ignores[pos.Filename] = append(p.ignores[pos.Filename], ignoreLine{line: pos.Line, names: names})
+				if ok := allocOKDirective(c); ok {
+					p.allocOKs[pos.Filename] = append(p.allocOKs[pos.Filename],
+						&directiveLine{pos: pos})
+				}
 			}
 		}
 	}
+}
+
+// allocOKDirective parses a "//pmp:allocok <reason>" annotation. The
+// reason is mandatory, exactly as for lint:ignore: an annotation
+// without one is malformed and suppresses nothing.
+func allocOKDirective(c *ast.Comment) bool {
+	text, found := strings.CutPrefix(c.Text, "//pmp:allocok")
+	if !found {
+		return false
+	}
+	return strings.TrimSpace(text) != ""
 }

@@ -39,7 +39,10 @@ func exportIndex(t *testing.T) map[string]string {
 			indexErr = err
 			return
 		}
-		index, indexErr = lint.ExportIndex(root, "./...")
+		// time and math/rand ride along for the determinism fixtures,
+		// which need to import them even though the repository itself
+		// (deliberately) never pulls in math/rand.
+		index, indexErr = lint.ExportIndex(root, "./...", "time", "math/rand")
 	})
 	if indexErr != nil {
 		t.Fatalf("building export index: %v", indexErr)
@@ -77,6 +80,15 @@ type want struct {
 // diagnostics and want comments.
 func Run(t *testing.T, a *lint.Analyzer, fixtureDir string) {
 	t.Helper()
+	RunAt(t, a, fixtureDir, "pmp/fixture/"+a.Name)
+}
+
+// RunAt is Run with an explicit fixture import path, for analyzers
+// whose rules are scoped by package path (determinism applies its
+// wall-clock rule only under internal/sim, internal/core and
+// internal/sweep).
+func RunAt(t *testing.T, a *lint.Analyzer, fixtureDir, importPath string) {
+	t.Helper()
 	entries, err := os.ReadDir(fixtureDir)
 	if err != nil {
 		t.Fatalf("reading fixtures: %v", err)
@@ -94,7 +106,7 @@ func Run(t *testing.T, a *lint.Analyzer, fixtureDir string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := lint.TypecheckPackage("pmp/fixture/"+a.Name, abs, files, exportIndex(t), nil)
+	pkg, err := lint.TypecheckPackage(importPath, abs, files, exportIndex(t), nil)
 	if err != nil {
 		t.Fatalf("typechecking fixtures: %v", err)
 	}

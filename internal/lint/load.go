@@ -24,7 +24,8 @@ type Package struct {
 	Types      *types.Package
 	Info       *types.Info
 
-	ignores map[string][]ignoreLine
+	ignores  map[string][]*directiveLine
+	allocOKs map[string][]*directiveLine
 }
 
 // listedPackage is the subset of `go list -json` output the loader

@@ -1,0 +1,68 @@
+// Fixtures for the determinism analyzer's map-iteration rule: ranging
+// over a map whose body reaches a result sink — directly, through a
+// helper chain, or through an injected sink-named function value — is
+// flagged; collect-then-sort and pure accumulation stay silent.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func emitAll(m map[string]int) {
+	for k, v := range m { // want "map iteration order over m reaches the fmt output through fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// The sink is two helper hops away: the fact store propagates it up.
+func viaHelpers(m map[string]int) {
+	for k := range m { // want "map iteration order over m reaches the fmt output"
+		record(k)
+	}
+}
+
+func record(k string) { log(k) }
+
+func log(k string) { fmt.Println(k) }
+
+// An injected sink-named function value counts even though the call
+// graph cannot resolve it.
+type tracker struct{ sink func(string) }
+
+func (t *tracker) flush(m map[string]bool) {
+	for k := range m { // want "map iteration order over m reaches injected t.sink sink"
+		t.sink(k)
+	}
+}
+
+// --- deterministic shapes: no diagnostics below this line ---
+
+// Collect-then-sort: the loop body only accumulates; the sink sees the
+// sorted slice.
+func sorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// Pure accumulation never reaches a sink.
+func tally(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Merging into another map is order-independent.
+func merge(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}

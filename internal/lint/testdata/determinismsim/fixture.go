@@ -1,0 +1,22 @@
+// Fixtures for the determinism analyzer's wall-clock rule. The test
+// harness type-checks this package under an import path containing
+// "internal/sim", where any time.Now/time.Since/math/rand call is
+// nondeterministic simulated behavior.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func latency() uint64 {
+	return uint64(time.Now().UnixNano()) // want "time.Now in simulator code"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in simulator code"
+}
+
+func jitter() int {
+	return rand.Intn(4) // want "math/rand.Intn in simulator code"
+}

@@ -1,0 +1,26 @@
+// Fixtures for the determinism analyzer's job-identity rule. The test
+// harness type-checks this package under an import path containing
+// "internal/sweep"; wall-clock use is then forbidden inside the
+// identity closure (JobID and everything it calls) but fine elsewhere
+// (progress reporting legitimately reads the clock).
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+// JobID is an identity root by name.
+func JobID(name string) string {
+	return fmt.Sprintf("%s-%s", name, salt())
+}
+
+// salt is inside the identity closure: flagged.
+func salt() string {
+	return time.Now().String() // want "time.Now inside job-identity code"
+}
+
+// snapshotAge is outside the closure: wall-clock is fine here.
+func snapshotAge(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -58,7 +58,13 @@ func RunVetUnit(cfgPath string, analyzers []*Analyzer, w io.Writer) (found bool,
 		}
 		return false, err
 	}
-	diags := Run([]*Package{pkg}, analyzers)
+	// One vet unit sees one package's source: cross-package analyses
+	// degrade to intra-package scope and suppression hygiene is skipped
+	// (see Program.singleUnit). Diagnostics still come out in the
+	// canonical sorted order, matching standalone mode.
+	prog := NewProgram([]*Package{pkg})
+	prog.singleUnit = true
+	diags := runProgram(prog, analyzers)
 	for _, d := range diags {
 		fmt.Fprintf(w, "%s:%d:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
 	}

@@ -44,11 +44,15 @@ func NewCounterTable(entries, length, bits int) *CounterTable {
 }
 
 // Entries returns the number of rows.
+//
+//pmp:hotpath
 func (t *CounterTable) Entries() int { return len(t.rows) }
 
 // Row returns the i'th row as a live view: mutations through the
 // returned vector update the table. The pointer is stable for the
 // table's lifetime.
+//
+//pmp:hotpath
 func (t *CounterTable) Row(i int) *CounterVector { return &t.rows[i] }
 
 // Reset zeroes every counter in the table.

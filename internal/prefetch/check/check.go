@@ -69,6 +69,7 @@ func (c *Checker) Name() string {
 		c.report("contract: Name() returned an empty string")
 	}
 	if c.seenName && name != c.name {
+		//pmp:allocok contract-violation report: formats only when the wrapped prefetcher is broken
 		c.report("contract: Name() unstable: %q then %q", c.name, name)
 	}
 	c.name, c.seenName = name, true
@@ -84,17 +85,21 @@ func (c *Checker) Train(a prefetch.Access) { c.inner.Train(a) }
 func (c *Checker) Issue(max int) []prefetch.Request {
 	reqs := c.inner.Issue(max)
 	if max <= 0 && len(reqs) > 0 {
+		//pmp:allocok contract-violation report: formats only when the wrapped prefetcher is broken
 		c.report("contract: Issue(%d) returned %d requests, want none for max <= 0", max, len(reqs))
 	} else if len(reqs) > max {
+		//pmp:allocok contract-violation report: formats only when the wrapped prefetcher is broken
 		c.report("contract: Issue(%d) returned %d requests (over budget)", max, len(reqs))
 	}
 	for i, r := range reqs {
 		if r.Addr.Line() != r.Addr {
+			//pmp:allocok contract-violation report: formats only when the wrapped prefetcher is broken
 			c.report("contract: Issue request %d target %#x is not line-aligned", i, uint64(r.Addr))
 		}
 		switch r.Level {
 		case prefetch.LevelL1, prefetch.LevelL2, prefetch.LevelLLC:
 		default:
+			//pmp:allocok contract-violation report: formats only when the wrapped prefetcher is broken
 			c.report("contract: Issue request %d has invalid level %d (must be L1/L2/LLC)", i, r.Level)
 		}
 	}
@@ -107,26 +112,33 @@ func (c *Checker) Issue(max int) []prefetch.Request {
 // the checker falls back to Issue — safe to expose unconditionally,
 // since the bulk path must produce exactly what Issue produces (unlike
 // Requeuer, whose presence changes the simulator's issue policy).
+//
+//pmp:hotpath
 func (c *Checker) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
 	base := len(dst)
 	out := prefetch.IssueInto(c.inner, dst, max)
 	if len(out) < base {
+		//pmp:allocok contract-violation report: formats only when the wrapped prefetcher is broken
 		c.report("contract: IssueInto shrank dst from %d to %d entries", base, len(out))
 		return out
 	}
 	reqs := out[base:]
 	if max <= 0 && len(reqs) > 0 {
+		//pmp:allocok contract-violation report: formats only when the wrapped prefetcher is broken
 		c.report("contract: IssueInto(dst, %d) appended %d requests, want none for max <= 0", max, len(reqs))
 	} else if len(reqs) > max {
+		//pmp:allocok contract-violation report: formats only when the wrapped prefetcher is broken
 		c.report("contract: IssueInto(dst, %d) appended %d requests (over budget)", max, len(reqs))
 	}
 	for i, r := range reqs {
 		if r.Addr.Line() != r.Addr {
+			//pmp:allocok contract-violation report: formats only when the wrapped prefetcher is broken
 			c.report("contract: IssueInto request %d target %#x is not line-aligned", i, uint64(r.Addr))
 		}
 		switch r.Level {
 		case prefetch.LevelL1, prefetch.LevelL2, prefetch.LevelLLC:
 		default:
+			//pmp:allocok contract-violation report: formats only when the wrapped prefetcher is broken
 			c.report("contract: IssueInto request %d has invalid level %d (must be L1/L2/LLC)", i, r.Level)
 		}
 	}
@@ -166,6 +178,7 @@ type requeueChecker struct {
 // request before handing it back.
 func (c *requeueChecker) Requeue(r prefetch.Request) {
 	if r.Addr.Line() != r.Addr {
+		//pmp:allocok contract-violation report: formats only when the wrapped prefetcher is broken
 		c.report("contract: Requeue target %#x is not line-aligned", uint64(r.Addr))
 	}
 	c.rq.Requeue(r)

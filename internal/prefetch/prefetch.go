@@ -126,10 +126,13 @@ type BulkIssuer interface {
 // allocation-free BulkIssuer fast path when p implements it and
 // falling back to Issue (one allocation per call) otherwise, so
 // third-party prefetchers keep working unmodified.
+//
+//pmp:hotpath
 func IssueInto(p Prefetcher, dst []Request, max int) []Request {
 	if b, ok := p.(BulkIssuer); ok {
 		return b.IssueInto(dst, max)
 	}
+	//pmp:allocok documented fallback: Issue itself allocates once per call for non-BulkIssuer prefetchers
 	return append(dst, p.Issue(max)...)
 }
 

@@ -52,6 +52,8 @@ func (q *OutQueue) Pop(max int) []Request {
 // dst. Unlike Pop it performs no allocation when dst has capacity, so
 // a steady-state Push/PopInto cycle against a reused buffer is
 // allocation-free.
+//
+//pmp:hotpath
 func (q *OutQueue) PopInto(dst []Request, max int) []Request {
 	if max <= 0 || len(q.q) == 0 {
 		return dst

@@ -174,6 +174,8 @@ func (p *Prefetcher) predict(trig sms.Trigger) {
 func (p *Prefetcher) Issue(max int) []prefetch.Request { return p.q.Pop(max) }
 
 // IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+//
+//pmp:hotpath
 func (p *Prefetcher) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
 	return p.q.PopInto(dst, max)
 }

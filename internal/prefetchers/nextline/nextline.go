@@ -43,6 +43,8 @@ func (p *Prefetcher) Train(a prefetch.Access) {
 func (p *Prefetcher) Issue(max int) []prefetch.Request { return p.q.Pop(max) }
 
 // IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+//
+//pmp:hotpath
 func (p *Prefetcher) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
 	return p.q.PopInto(dst, max)
 }

@@ -194,6 +194,8 @@ func (p *Prefetcher) update(s1, s2 uint32, action int, target float64) {
 func (p *Prefetcher) Issue(max int) []prefetch.Request { return p.out.Pop(max) }
 
 // IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+//
+//pmp:hotpath
 func (p *Prefetcher) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
 	return p.out.PopInto(dst, max)
 }

@@ -262,6 +262,8 @@ func (p *Prefetcher) remember(line mem.Addr, feats [numFeatures]uint32) {
 func (p *Prefetcher) Issue(max int) []prefetch.Request { return p.q.Pop(max) }
 
 // IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+//
+//pmp:hotpath
 func (p *Prefetcher) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
 	return p.q.PopInto(dst, max)
 }

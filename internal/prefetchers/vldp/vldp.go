@@ -185,6 +185,8 @@ func (p *Prefetcher) predict(addr mem.Addr, e *dhbEntry) {
 func (p *Prefetcher) Issue(max int) []prefetch.Request { return p.q.Pop(max) }
 
 // IssueInto implements prefetch.BulkIssuer, the allocation-free drain.
+//
+//pmp:hotpath
 func (p *Prefetcher) IssueInto(dst []prefetch.Request, max int) []prefetch.Request {
 	return p.q.PopInto(dst, max)
 }

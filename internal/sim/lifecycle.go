@@ -238,6 +238,7 @@ func newLifecycleTracker(sink func(LifecycleEvent)) *lifecycleTracker {
 func (t *lifecycleTracker) agg(src string) *lifecycleAgg {
 	a := t.bySource[src]
 	if a == nil {
+		//pmp:allocok lazy once-per-prefetcher aggregate; the tracker is nil on the benchmarked path
 		a = &lifecycleAgg{regions: map[mem.Addr]*LifecycleStats{}}
 		t.bySource[src] = a
 	}
@@ -345,13 +346,24 @@ func (t *lifecycleTracker) emit(src string, level prefetch.Level, line mem.Addr,
 }
 
 // flushOpen exports every unresolved lifecycle to the sink (end of a
-// run) without mutating the aggregates.
+// run) without mutating the aggregates. Keys are sorted so the event
+// stream is byte-identical across runs regardless of map layout.
 func (t *lifecycleTracker) flushOpen() {
 	if t.sink == nil {
 		return
 	}
-	for key, rec := range t.open {
-		t.emit(rec.src, key.level, key.line, rec, LifecycleOpen, 0)
+	keys := make([]lifecycleKey, 0, len(t.open))
+	for key := range t.open {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].level != keys[j].level {
+			return keys[i].level < keys[j].level
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, key := range keys {
+		t.emit(t.open[key].src, key.level, key.line, t.open[key], LifecycleOpen, 0)
 	}
 }
 

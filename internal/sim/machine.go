@@ -474,10 +474,13 @@ func (c *Core) midStats() cache.Stats {
 // step dispatches one trace record: its leading non-memory instructions
 // and the load itself. Address-dependent loads wait for the previous
 // load's data before issuing to the memory hierarchy.
+//
+//pmp:hotpath
 func (c *Core) step(r trace.Record) {
 	if r.Gap > 0 {
 		c.cpu.DispatchNonLoads(int(r.Gap))
 	}
+	//pmp:allocok closure does not escape DispatchLoad and stays on the stack; BenchmarkSystemStep pins 0 allocs/access
 	c.cpu.DispatchLoad(func(issue uint64) uint64 {
 		chain := mem.HashPC(r.PC, 6)
 		switch r.Dep {
@@ -500,6 +503,8 @@ func (c *Core) step(r trace.Record) {
 // demandAccess services a demand load, trains the prefetcher, and lets
 // it issue; it returns the data-ready cycle. Address translation
 // happens first: TLB misses delay the cache access.
+//
+//pmp:hotpath
 func (c *Core) demandAccess(pc uint64, addr mem.Addr, now uint64) uint64 {
 	now += c.dtlb.Translate(addr)
 	line := addr.Line()
@@ -642,6 +647,10 @@ func (p *pqTracker) free(now uint64) bool {
 	return len(p.done) < cap(p.done)
 }
 
+// add records one in-flight prefetch. Gated by free(), so the append
+// never outgrows the capacity newPQTracker reserved.
+//
+//pmp:allocok bounded by preallocated capacity; add is only reached after free() reports len < cap
 func (p *pqTracker) add(done uint64) { p.done = append(p.done, done) }
 
 // prefetchRoom reports whether the cache can accept a prefetch without
