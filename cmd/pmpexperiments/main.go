@@ -11,11 +11,19 @@
 // where it left off. Rendered tables are byte-identical to a serial
 // run at the same scale.
 //
+// With -remote the per-trace simulations are submitted to a running
+// pmpsweepd coordinator instead of the in-process pool: the
+// coordinator deduplicates, shards and leases them across its
+// registered workers, and this process polls for the records and
+// renders the same tables. The results store then lives with the
+// coordinator, so -store/-resume/-workers are rejected client-side.
+//
 // Usage:
 //
 //	pmpexperiments [-scale quick|default|full] [-exp ID[,ID...]] [-list]
 //	               [-store file.jsonl [-resume]] [-workers N]
 //	               [-job-timeout d] [-retries N] [-csv dir]
+//	               [-remote coordinator:port]
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"pmp/internal/bench"
 	"pmp/internal/prof"
 	"pmp/internal/sweep"
+	"pmp/internal/sweep/remote"
 )
 
 // experiment is one registry entry: an experiment ID, its description
@@ -85,6 +94,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each experiment as <dir>/<ID>.csv")
 	storePath := flag.String("store", "", "persist per-job results to this append-only JSONL store")
 	resumeFlag := flag.Bool("resume", false, "skip jobs already completed in -store (requires -store)")
+	remoteAddr := flag.String("remote", "", "submit jobs to a running pmpsweepd coordinator at this address")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	jobTimeout := flag.Duration("job-timeout", 30*time.Minute, "per-job attempt timeout (0 = none)")
 	retries := flag.Int("retries", 2, "attempts per job before quarantine")
@@ -157,6 +167,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-resume requires -store")
 		os.Exit(2)
 	}
+	if *remoteAddr != "" && (*storePath != "" || *resumeFlag || *workers != 0) {
+		fmt.Fprintln(os.Stderr, "-remote runs keep the store with the coordinator; drop -store/-resume/-workers")
+		os.Exit(2)
+	}
 	var store *sweep.Store
 	if *storePath != "" {
 		store, err = sweep.OpenStore(*storePath, *resumeFlag)
@@ -176,19 +190,32 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	opts := sweep.Options{
-		Workers:     *workers,
-		MaxAttempts: *retries,
-		JobTimeout:  *jobTimeout,
-		Store:       store,
-	}
-	if *progressFlag {
-		opts.Progress = sweep.WriterProgress(os.Stderr)
-	}
-	sw := sweep.New(ctx, opts)
-
 	start := time.Now()
-	r := bench.NewRunnerWith(scale, sw)
+	var sw *sweep.Sweep
+	var r *bench.Runner
+	if *remoteAddr != "" {
+		rc := remote.NewClient(*remoteAddr)
+		if _, err := rc.Status(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pmpexperiments: coordinator %s: %v\n", *remoteAddr, err)
+			os.Exit(1)
+		}
+		r = bench.NewRunnerRemote(ctx, scale, rc)
+		if *progressFlag {
+			go remoteProgress(ctx, rc)
+		}
+	} else {
+		opts := sweep.Options{
+			Workers:     *workers,
+			MaxAttempts: *retries,
+			JobTimeout:  *jobTimeout,
+			Store:       store,
+		}
+		if *progressFlag {
+			opts.Progress = sweep.WriterProgress(os.Stderr)
+		}
+		sw = sweep.New(ctx, opts)
+		r = bench.NewRunnerWith(scale, sw)
+	}
 	index = registry(r, scale)
 
 	var selected []experiment
@@ -242,14 +269,51 @@ func main() {
 		fmt.Printf("-- %s completed in %v --\n\n", e.id, res.dur.Round(time.Millisecond))
 	}
 
-	m := sw.Close()
-	if store != nil {
-		fmt.Fprintf(os.Stderr, "sweep: store %s: %d new, %d cached, %d quarantined (manifest: %s)\n",
-			store.Path(), m.Completed, m.Cached, m.Quarantined, store.ManifestPath())
+	if sw != nil {
+		m := sw.Close()
+		if store != nil {
+			fmt.Fprintf(os.Stderr, "sweep: store %s: %d new, %d cached, %d quarantined (manifest: %s)\n",
+				store.Path(), m.Completed, m.Cached, m.Quarantined, store.ManifestPath())
+		}
 	}
 	if interrupted {
-		fmt.Fprintln(os.Stderr, "interrupted: results store flushed; re-run with -resume to continue")
+		if *remoteAddr != "" {
+			fmt.Fprintln(os.Stderr, "interrupted: submitted jobs keep running on the coordinator; re-run -remote to re-attach")
+		} else {
+			fmt.Fprintln(os.Stderr, "interrupted: results store flushed; re-run with -resume to continue")
+		}
 		os.Exit(130)
 	}
 	fmt.Printf("total elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// remoteProgress prints one coordinator status line every 5s while a
+// -remote run is in flight.
+func remoteProgress(ctx context.Context, rc *remote.Client) {
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			st, err := rc.Status(ctx)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "remote: status: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "remote: %d/%d done · %d leased · %d workers",
+				st.Done, st.Submitted, st.Leased, len(st.Workers))
+			if st.Cached > 0 {
+				fmt.Fprintf(os.Stderr, " · %d cached", st.Cached)
+			}
+			if st.Quarantined > 0 {
+				fmt.Fprintf(os.Stderr, " · %d quarantined", st.Quarantined)
+			}
+			if st.Expired > 0 {
+				fmt.Fprintf(os.Stderr, " · %d expired leases", st.Expired)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}
 }

@@ -31,6 +31,7 @@ import (
 	"pmp/internal/prefetchers/vldp"
 	"pmp/internal/sim"
 	"pmp/internal/sweep"
+	"pmp/internal/sweep/remote"
 	"pmp/internal/trace"
 )
 
@@ -111,8 +112,8 @@ func RelatedNames() []string {
 func Names() []string {
 	return []string{
 		NameNone, NameNextline, NameStride, NameBOP, NameSandbox, NameVLDP,
-		NameSMS, NameGHB, NameISB, NameDSPatch, NameBingo, NameSPPPPF,
-		NamePythia, NamePMP, NamePMPLimit,
+		NameSMS, NameGHB, NameISB, NameMISB, NameTriage, NameDSPatch,
+		NameBingo, NameSPPPPF, NamePythia, NamePMP, NamePMPLimit,
 	}
 }
 
@@ -286,10 +287,19 @@ func defaultSweep() *sweep.Sweep {
 // singleflight baseline cache so concurrent experiments that reuse
 // the same system configuration only simulate the baseline once per
 // trace. Runners are safe for concurrent use.
+//
+// A Runner built with NewRunnerRemote submits the same jobs as wire
+// specs to a pmpsweepd coordinator instead of the in-process pool;
+// everything downstream (dedup, baselines, table assembly) is
+// unchanged, and the results are byte-identical by the sweep's
+// determinism invariant.
 type Runner struct {
 	Scale Scale
 	specs []trace.Spec
 	sw    *sweep.Sweep
+
+	rc  *remote.Client  // non-nil: submit to a coordinator instead of sw
+	ctx context.Context // governs remote submission/polling
 
 	mu   sync.Mutex
 	base map[string]*baseline // config fingerprint -> baseline singleflight
@@ -319,6 +329,20 @@ func NewRunnerWith(scale Scale, sw *sweep.Sweep) *Runner {
 	}
 }
 
+// NewRunnerRemote builds a Runner that submits its jobs to a running
+// pmpsweepd coordinator (cmd/pmpexperiments -remote). The context
+// governs submission and polling; canceling it unwinds experiments
+// through the usual sweep.Interrupted path.
+func NewRunnerRemote(ctx context.Context, scale Scale, rc *remote.Client) *Runner {
+	return &Runner{
+		Scale: scale,
+		specs: scale.Specs(),
+		rc:    rc,
+		ctx:   ctx,
+		base:  map[string]*baseline{},
+	}
+}
+
 // Specs returns the runner's trace subset.
 func (r *Runner) Specs() []trace.Spec { return r.specs }
 
@@ -331,6 +355,18 @@ func (r *Runner) Specs() []trace.Spec { return r.specs }
 // and the rest of the sweep — keeps going; a canceled sweep unwinds
 // via a sweep.Interrupted panic, recovered at the experiment driver.
 func (r *Runner) runJobs(name string, cfg sim.Config, simulate func(trace.Spec) sim.Result) []sim.Result {
+	return r.runJobsAt(name, "", cfg, simulate)
+}
+
+// runJobsAt is runJobs with an explicit attach point ("" = innermost
+// level, "llc" = LLC-attached, as in the §V-B placement experiment).
+// The attach point travels in the wire spec so a remote worker
+// reconstructs the same system shape; the local path encodes it in
+// the simulate closure directly.
+func (r *Runner) runJobsAt(name, attach string, cfg sim.Config, simulate func(trace.Spec) sim.Result) []sim.Result {
+	if r.rc != nil {
+		return r.runJobsRemote(name, attach, cfg)
+	}
 	fp := cfg.Fingerprint()
 	tickets := make([]*sweep.Ticket, len(r.specs))
 	for i, sp := range r.specs {
@@ -350,6 +386,41 @@ func (r *Runner) runJobs(name string, cfg sim.Config, simulate func(trace.Spec) 
 			panic(sweep.Interrupted{Err: err})
 		}
 		res[i] = rec.Result
+	}
+	return res
+}
+
+// runJobsRemote submits the same job set as wire specs to the
+// coordinator and polls for the records. The coordinator deduplicates
+// by job ID exactly like the in-process sweep, so cross-experiment
+// sharing survives the network hop; submission and polling failures
+// unwind via sweep.Interrupted like a canceled local sweep.
+func (r *Runner) runJobsRemote(name, attach string, cfg sim.Config) []sim.Result {
+	fp := cfg.Fingerprint()
+	specs := make([]remote.JobSpec, len(r.specs))
+	ids := make([]string, len(r.specs))
+	for i, sp := range r.specs {
+		ids[i] = sweep.JobID(name, sp.Name, r.Scale.Records, fp)
+		specs[i] = remote.JobSpec{
+			ID:         ids[i],
+			Label:      name + "/" + sp.Name,
+			Prefetcher: name,
+			Trace:      sp.Name,
+			Records:    r.Scale.Records,
+			Attach:     attach,
+			Config:     cfg,
+		}
+	}
+	if _, err := r.rc.Submit(r.ctx, specs); err != nil {
+		panic(sweep.Interrupted{Err: err})
+	}
+	recs, err := r.rc.Wait(r.ctx, ids)
+	if err != nil {
+		panic(sweep.Interrupted{Err: err})
+	}
+	res := make([]sim.Result, len(ids))
+	for i, id := range ids {
+		res[i] = recs[id].Result
 	}
 	return res
 }

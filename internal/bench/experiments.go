@@ -21,7 +21,9 @@ func (r *Runner) subRunner() *Runner {
 	if s.Traces > 8 {
 		s.Traces = 8
 	}
-	return NewRunnerWith(s, r.sw)
+	sub := NewRunnerWith(s, r.sw)
+	sub.rc, sub.ctx = r.rc, r.ctx // remote runners stay remote
+	return sub
 }
 
 // corpus captures the Section III pattern corpus over the scale's
@@ -746,9 +748,10 @@ func Placement(r *Runner) *Table {
 
 	// Original (non-doubled) Bingo: half the enhanced PHT. The LLC
 	// attachment doesn't fit Run's L1-trained shape, so the per-trace
-	// simulations go to the sweep as jobs under their own name.
+	// simulations go to the sweep as jobs under their own name, with
+	// the attach point on the wire for remote workers.
 	base := r.Baseline(cfg)
-	results := r.runJobs("bingo@llc", cfg, func(sp trace.Spec) sim.Result {
+	results := r.runJobsAt("bingo@llc", "llc", cfg, func(sp trace.Spec) sim.Result {
 		sys := sim.NewSystem(cfg, prefetch.Nop{})
 		sys.AttachLLCPrefetcher(bingoNew(bingoOriginalConfig()))
 		return sys.Run(sp.New(r.Scale.Records))

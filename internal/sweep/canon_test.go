@@ -1,0 +1,174 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"pmp/internal/sim"
+)
+
+func canonRecord(id string, attempts int, wallNS int64) Record {
+	return Record{
+		ID: id, Label: "pf/" + id, Prefetcher: "pf", Trace: id,
+		Status: StatusOK, Attempts: attempts, WallNS: wallNS,
+		Result: sim.Result{Instructions: 100, Cycles: 50},
+	}
+}
+
+// The canonical dump is what the distributed-smoke gate diffs: it must
+// be sorted by ID, resolve to the last record per ID, and zero the
+// fields that legitimately differ between runs (attempts, wall time).
+func TestWriteCanonicalNormalizes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	st, err := OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out of order, with a superseded record for "b".
+	for _, rec := range []Record{
+		canonRecord("c", 1, 111),
+		canonRecord("b", 1, 222),
+		canonRecord("a", 2, 333),
+		canonRecord("b", 3, 444),
+	} {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	var buf bytes.Buffer
+	if err := WriteCanonical(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("canonical dump has %d lines, want 3:\n%s", len(lines), &buf)
+	}
+	for i, id := range []string{"a", "b", "c"} {
+		if !strings.Contains(lines[i], fmt.Sprintf("%q:%q", "id", id)) {
+			t.Errorf("line %d is not job %q: %s", i, id, lines[i])
+		}
+		if !strings.Contains(lines[i], `"attempts":0`) || !strings.Contains(lines[i], `"wall_ns":0`) {
+			t.Errorf("line %d leaks run-specific fields: %s", i, lines[i])
+		}
+	}
+}
+
+// Two stores whose records arrived in different orders with different
+// timing print identical canonical dumps — the distributed-vs-serial
+// comparison this exists for.
+func TestWriteCanonicalOrderInsensitive(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, order []string, wall int64) string {
+		path := filepath.Join(dir, name)
+		st, err := OpenStore(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range order {
+			if err := st.Append(canonRecord(id, 1+i%2, wall+int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Close()
+		return path
+	}
+	p1 := write("serial.jsonl", []string{"a", "b", "c", "d"}, 100)
+	p2 := write("merged.jsonl", []string{"d", "b", "a", "c"}, 9000)
+
+	var b1, b2 bytes.Buffer
+	if err := WriteCanonical(&b1, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCanonical(&b2, p2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("canonical dumps differ:\nserial:\n%s\nmerged:\n%s", &b1, &b2)
+	}
+}
+
+// ReadRecords matches Open's resolution: last record per ID, malformed
+// tail skipped, without taking the store's write lock.
+func TestReadRecordsSkipsMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	st, err := OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Append(canonRecord("a", 1, 1))
+	st.Append(canonRecord("b", 1, 1))
+	st.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"id":"c","status":"ok"` + "\n") // truncated write
+	f.Close()
+
+	recs, skipped, err := ReadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || skipped != 1 {
+		t.Fatalf("got %d records, %d skipped; want 2 records, 1 skipped", len(recs), skipped)
+	}
+}
+
+// Store.Append is the multi-writer merge point of the distributed
+// coordinator (every worker report lands here concurrently): no lost
+// records, no interleaved lines.
+func TestStoreConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	st, err := OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 8
+	const perWriter = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := canonRecord(fmt.Sprintf("w%d-%03d", w, i), 1, int64(i))
+				if err := st.Append(rec); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every record must be visible in-process (Lookup)...
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			id := fmt.Sprintf("w%d-%03d", w, i)
+			if _, ok := st.Lookup(id); !ok {
+				t.Fatalf("record %s lost from the in-memory index", id)
+			}
+		}
+	}
+	st.Close()
+
+	// ...and on disk, with no torn lines.
+	recs, skipped, err := ReadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("%d malformed lines after concurrent appends", skipped)
+	}
+	if len(recs) != writers*perWriter {
+		t.Errorf("store resolved %d records, want %d", len(recs), writers*perWriter)
+	}
+}

@@ -30,6 +30,14 @@ type Manifest struct {
 	QuarantinedJobs []string `json:"quarantined_jobs,omitempty"`
 
 	Store string `json:"store,omitempty"`
+
+	// Distributed-mode fields, populated by the pmpsweepd coordinator
+	// (internal/sweep/remote) so a sharded run is auditable after the
+	// fact: where it ran, how many workers registered, and how many
+	// records each worker contributed to the merged store.
+	Coordinator   string         `json:"coordinator,omitempty"`
+	RemoteWorkers int            `json:"remote_workers,omitempty"`
+	WorkerJobs    map[string]int `json:"worker_jobs,omitempty"`
 }
 
 // manifest assembles the final manifest from the sweep's counters.
@@ -66,8 +74,10 @@ func (s *Sweep) manifest() Manifest {
 	return m
 }
 
-// writeManifest writes the manifest as indented JSON.
-func writeManifest(path string, m Manifest) error {
+// WriteManifest writes the manifest as indented JSON. Besides Close,
+// the remote coordinator uses it to persist a distributed run's
+// manifest next to the merged store.
+func WriteManifest(path string, m Manifest) error {
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err

@@ -296,7 +296,7 @@ func (s *Sweep) Close() Manifest {
 	m := s.manifest()
 	if s.store != nil {
 		m.Store = s.store.Path()
-		_ = writeManifest(s.store.ManifestPath(), m)
+		_ = WriteManifest(s.store.ManifestPath(), m)
 		_ = s.store.Close()
 	}
 	if s.opts.Progress != nil {

@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# Distributed-sweep smoke test for pmpsweepd (docs/sweep.md,
+# "Distributed mode").
+#
+# Proves the service's core invariant under worker death:
+#   1. run pmpexperiments at quick scale serially -> baseline store,
+#   2. start a coordinator (short lease TTL) and two workers,
+#      run the same experiments through `pmpexperiments -remote`,
+#      SIGKILL one worker mid-sweep,
+#   3. assert the merged store's canonical dump (last record per ID,
+#      sorted, timing zeroed) is byte-identical to the serial one,
+#      and that the kill actually landed mid-run (a lease expired or
+#      the dead worker had completed work to lose — never vacuous).
+#
+# On failure every log lands in $DISTRIBUTED_SMOKE_LOGDIR (default
+# /tmp/distributed_smoke_logs) so CI can upload them as artifacts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+logdir="${DISTRIBUTED_SMOKE_LOGDIR:-/tmp/distributed_smoke_logs}"
+addr="${DISTRIBUTED_SMOKE_ADDR:-127.0.0.1:7077}"
+lease_ttl="${DISTRIBUTED_SMOKE_LEASE_TTL:-3s}"
+kill_after="${DISTRIBUTED_SMOKE_KILL_AFTER:-3}"
+
+pids=()
+cleanup() {
+  status=$?
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  if [ "$status" -ne 0 ]; then
+    mkdir -p "$logdir"
+    cp "$tmp"/*.log "$tmp"/*.out "$tmp"/*.err "$logdir"/ 2>/dev/null || true
+    cp "$tmp"/*.jsonl "$tmp"/*.canon "$logdir"/ 2>/dev/null || true
+    echo "FAIL: logs copied to $logdir"
+  fi
+  rm -rf "$tmp"
+  exit "$status"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$tmp/pmpexperiments" ./cmd/pmpexperiments
+go build -o "$tmp/pmpsweepd" ./cmd/pmpsweepd
+
+echo "== serial baseline =="
+"$tmp/pmpexperiments" -scale quick -store "$tmp/serial.jsonl" \
+  >"$tmp/serial.out" 2>"$tmp/serial.err"
+
+echo "== coordinator + 2 workers (lease TTL $lease_ttl) =="
+"$tmp/pmpsweepd" -listen "$addr" -store "$tmp/merged.jsonl" \
+  -lease-ttl "$lease_ttl" -retries 10 -v \
+  >"$tmp/coord.log" 2>&1 &
+coord_pid=$!
+pids+=("$coord_pid")
+
+# Wait for the coordinator to accept connections.
+for _ in $(seq 1 50); do
+  if curl -sf -X POST -d '{}' "http://$addr/status" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -sf -X POST -d '{}' "http://$addr/status" >/dev/null \
+  || { echo "FAIL: coordinator never came up"; exit 1; }
+
+"$tmp/pmpsweepd" -worker -connect "$addr" -name victim -v \
+  >"$tmp/worker1.log" 2>&1 &
+victim_pid=$!
+pids+=("$victim_pid")
+"$tmp/pmpsweepd" -worker -connect "$addr" -name survivor -v \
+  >"$tmp/worker2.log" 2>&1 &
+pids+=("$!")
+
+echo "== distributed run (killing worker 'victim' after ${kill_after}s of progress) =="
+"$tmp/pmpexperiments" -scale quick -remote "$addr" \
+  >"$tmp/remote.out" 2>"$tmp/remote.err" &
+client_pid=$!
+pids+=("$client_pid")
+
+# Kill the victim while it provably holds a lease: freeze it with
+# SIGSTOP, confirm the coordinator still shows leased jobs against it,
+# then SIGKILL. If the victim finished its batch in the race window,
+# thaw it and retry at its next batch — the kill is never vacuous.
+victim_leased() {
+  curl -sf -X POST -d '{}' "http://$addr/status" 2>/dev/null \
+    | grep -o '"name":"victim"[^}]*' | grep -o '"leased":[0-9]*' | cut -d: -f2
+}
+sleep "$kill_after"
+killed=0
+for attempt in $(seq 1 50); do
+  if ! kill -0 "$client_pid" 2>/dev/null; then break; fi
+  if [ "$(victim_leased || echo 0)" -gt 0 ] 2>/dev/null; then
+    kill -STOP "$victim_pid" 2>/dev/null || break
+    sleep 0.2 # let reports already on the wire land
+    if [ "$(victim_leased || echo 0)" -gt 0 ] 2>/dev/null; then
+      pre_kill=$(curl -sf -X POST -d '{}' "http://$addr/status")
+      kill -KILL "$victim_pid" 2>/dev/null || true
+      echo "killed victim (pid $victim_pid, attempt $attempt) holding a lease; status then: $pre_kill"
+      killed=1
+      break
+    fi
+    kill -CONT "$victim_pid" 2>/dev/null || break
+  fi
+  sleep 0.1
+done
+if [ "$killed" -ne 1 ]; then
+  echo "FAIL: never caught the victim holding a lease; the worker-death leg is vacuous"
+  exit 1
+fi
+
+status=0
+wait "$client_pid" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: remote pmpexperiments exited with status $status"
+  exit 1
+fi
+
+echo "== assert: the death was observed and recovered =="
+post=$(curl -sf -X POST -d '{}' "http://$addr/status")
+echo "final status: $post"
+expired=$(echo "$post" | grep -o '"expired":[0-9]*' | head -1 | cut -d: -f2)
+quarantined=$(echo "$post" | grep -o '"quarantined":[0-9]*' | head -1 | cut -d: -f2)
+if [ "${expired:-0}" -lt 1 ]; then
+  echo "FAIL: no lease expired — the victim died holding nothing, so the" \
+    "worker-death leg is vacuous. Lower DISTRIBUTED_SMOKE_KILL_AFTER."
+  exit 1
+fi
+echo "victim's death expired $expired lease attempt(s); survivors recovered them"
+if [ "${quarantined:-0}" -ne 0 ]; then
+  echo "FAIL: $quarantined jobs quarantined; re-leasing should have recovered them"
+  exit 1
+fi
+
+# Stop the coordinator cleanly so it writes the manifest.
+kill -TERM "$coord_pid" 2>/dev/null || true
+wait "$coord_pid" 2>/dev/null || true
+
+echo "== assert: merged store matches the serial baseline =="
+"$tmp/pmpsweepd" -canon "$tmp/serial.jsonl" >"$tmp/serial.canon"
+"$tmp/pmpsweepd" -canon "$tmp/merged.jsonl" >"$tmp/merged.canon"
+if ! cmp -s "$tmp/serial.canon" "$tmp/merged.canon"; then
+  echo "FAIL: canonical stores differ (serial vs distributed):"
+  diff "$tmp/serial.canon" "$tmp/merged.canon" | head -20
+  exit 1
+fi
+echo "PASS: $(wc -l <"$tmp/merged.canon") records byte-identical to the serial baseline"
+
+echo "== assert: manifest records the distributed topology =="
+manifest="$tmp/merged.manifest.json"
+if [ ! -f "$manifest" ]; then
+  echo "FAIL: coordinator wrote no manifest at $manifest"
+  exit 1
+fi
+grep -q '"coordinator"' "$manifest" || { echo "FAIL: manifest lacks coordinator address"; exit 1; }
+grep -qE '"remote_workers": *2' "$manifest" || { echo "FAIL: manifest lacks remote_workers=2"; cat "$manifest"; exit 1; }
+grep -q '"worker_jobs"' "$manifest" || { echo "FAIL: manifest lacks per-worker tallies"; exit 1; }
+echo "PASS: manifest has coordinator, worker count, per-worker tallies"
+
+echo "== assert: rendered tables match the serial run =="
+strip() { grep -v -E '^-- .* completed in |^total elapsed: |^remote: ' "$1"; }
+if ! diff <(strip "$tmp/serial.out") <(strip "$tmp/remote.out"); then
+  echo "FAIL: remote run's tables differ from the serial baseline"
+  exit 1
+fi
+echo "PASS: rendered tables byte-identical"
+
+echo "== distributed smoke OK =="

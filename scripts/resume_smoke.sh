@@ -24,17 +24,33 @@ echo "== reference (uninterrupted) run =="
   >"$tmp/ref.out" 2>"$tmp/ref.err"
 
 echo "== interrupted run =="
-"$tmp/pmpexperiments" -scale quick -store "$tmp/sweep.jsonl" \
-  >"$tmp/int.out" 2>"$tmp/int.err" &
-pid=$!
-sleep "${RESUME_SMOKE_INTERRUPT_AFTER:-5}"
-if kill -INT "$pid" 2>/dev/null; then
-  status=0
-  wait "$pid" || status=$?
-  echo "interrupted run exited with status $status"
-else
+# The interrupt must land while the sweep is still running, or the
+# resume leg is vacuous (everything cached, nothing proven). Retry
+# with a shorter delay if the run beats the kill, and fail loudly if
+# it always does.
+delay="${RESUME_SMOKE_INTERRUPT_AFTER:-5}"
+interrupted=0
+for attempt in 1 2 3; do
+  rm -f "$tmp/sweep.jsonl"
+  "$tmp/pmpexperiments" -scale quick -store "$tmp/sweep.jsonl" \
+    >"$tmp/int.out" 2>"$tmp/int.err" &
+  pid=$!
+  sleep "$delay"
+  if kill -INT "$pid" 2>/dev/null; then
+    status=0
+    wait "$pid" || status=$?
+    echo "interrupted run exited with status $status (attempt $attempt, after ${delay}s)"
+    interrupted=1
+    break
+  fi
   wait "$pid" || true
-  echo "run finished before the interrupt; resume will be fully cached"
+  echo "attempt $attempt: run finished before the ${delay}s interrupt; retrying sooner"
+  delay=$(awk -v d="$delay" 'BEGIN { print d / 2 }')
+done
+if [ "$interrupted" -ne 1 ]; then
+  echo "FAIL: could not interrupt the sweep mid-run after 3 attempts;"
+  echo "      the resume leg would be vacuous (set RESUME_SMOKE_INTERRUPT_AFTER lower)"
+  exit 1
 fi
 touch "$tmp/sweep.jsonl"
 cp "$tmp/sweep.jsonl" "$tmp/pre.jsonl"
