@@ -145,12 +145,11 @@ func lifecycleSink(path string) (func(sim.LifecycleEvent), func(), error) {
 
 func openSource(file, name string, records int) (trace.Source, error) {
 	if file != "" {
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return trace.Read(f)
+		// Lazy streaming source: records decode on demand (mmap'd on
+		// Linux) instead of materializing the whole trace up front. The
+		// process exit releases the handle; simulation replays need the
+		// source alive for its whole lifetime anyway.
+		return trace.OpenFile(file)
 	}
 	for _, sp := range append(trace.Suite(), trace.ExtraSpecs()...) {
 		if sp.Name == name {

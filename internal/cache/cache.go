@@ -74,15 +74,23 @@ func (c Config) Validate() error {
 // SizeBytes returns the data capacity of the configuration.
 func (c Config) SizeBytes() int { return c.Sets * c.Ways * mem.LineBytes }
 
-type line struct {
-	tag        mem.Addr // line-aligned address
-	valid      bool
+// lineMeta is the per-line state other than the tag. Tags live in
+// their own parallel array (structure-of-arrays): an associative probe
+// then scans Ways*8 contiguous bytes — a single cache line for
+// 8-way sets — instead of striding through interleaved metadata, and
+// the valid bit is folded into the tag as a sentinel so the tag-match
+// loop is one compare per way.
+type lineMeta struct {
 	lru        uint64 // last-touch stamp (LRU policy)
-	rrpv       uint8  // re-reference prediction value (SRRIP policy)
 	ready      uint64 // cycle the fill completes
+	rrpv       uint8  // re-reference prediction value (SRRIP policy)
 	prefetched bool   // filled by a prefetch
 	used       bool   // demand-touched since fill
 }
+
+// invalidTag marks an empty way. Real tags are line-aligned (low
+// mem.LineShift bits zero), so this value can never collide.
+const invalidTag mem.Addr = 1
 
 // Stats accumulates per-level counters. Demand counters only advance
 // while the owning Cache has stats enabled (warm-up runs with them off).
@@ -172,7 +180,8 @@ type PrefetchEvent struct {
 // Cache is one set-associative cache level.
 type Cache struct {
 	cfg     Config
-	sets    []line // Sets*Ways, row-major
+	tags    []mem.Addr // Sets*Ways, row-major; invalidTag when empty
+	meta    []lineMeta // parallel to tags
 	setMask uint64
 	stamp   uint64
 	statsOn bool
@@ -200,12 +209,17 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:     cfg,
-		sets:    make([]line, cfg.Sets*cfg.Ways),
+		tags:    make([]mem.Addr, cfg.Sets*cfg.Ways),
+		meta:    make([]lineMeta, cfg.Sets*cfg.Ways),
 		setMask: uint64(cfg.Sets - 1),
 		mshr:    newMSHRFile(cfg.MSHRs),
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
 }
 
 // Config returns the cache configuration.
@@ -221,9 +235,27 @@ func (c *Cache) EnableStats(on bool) { c.statsOn = on }
 // ResetStats zeroes the counters (end of warm-up).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-func (c *Cache) setOf(a mem.Addr) []line {
-	idx := (a.LineID() & c.setMask) * uint64(c.cfg.Ways)
-	return c.sets[idx : idx+uint64(c.cfg.Ways)]
+// setBase returns the index of the set's first way in the parallel
+// tag/meta arrays.
+//
+//pmp:hotpath
+func (c *Cache) setBase(a mem.Addr) int {
+	return int(a.LineID()&c.setMask) * c.cfg.Ways
+}
+
+// findWay returns the array index of the way holding line a (already
+// line-aligned), or -1. One tag compare per way over contiguous tags.
+//
+//pmp:hotpath
+func (c *Cache) findWay(a mem.Addr) int {
+	base := c.setBase(a)
+	for _, t := range c.tags[base : base+c.cfg.Ways] {
+		if t == a {
+			return base
+		}
+		base++
+	}
+	return -1
 }
 
 // Lookup probes for a line at the given cycle.
@@ -234,18 +266,16 @@ func (c *Cache) setOf(a mem.Addr) []line {
 // updated and, for demand lookups, prefetch-usefulness accounting runs.
 //
 // On a miss it returns (false, 0).
+//
+//pmp:hotpath
 func (c *Cache) Lookup(a mem.Addr, now uint64, demand bool) (bool, uint64) {
 	a = a.Line()
-	set := c.setOf(a)
 	c.stamp++
 	if demand && c.statsOn {
 		c.stats.DemandAccesses++
 	}
-	for i := range set {
-		l := &set[i]
-		if !l.valid || l.tag != a {
-			continue
-		}
+	if i := c.findWay(a); i >= 0 {
+		l := &c.meta[i]
 		l.lru = c.stamp
 		l.rrpv = 0 // SRRIP: near re-reference on hit
 		ready := now + c.cfg.Latency
@@ -285,15 +315,10 @@ func (c *Cache) Lookup(a mem.Addr, now uint64, demand bool) (bool, uint64) {
 
 // Contains reports whether the line is present, without touching LRU or
 // statistics (used by back-invalidation and tests).
+//
+//pmp:hotpath
 func (c *Cache) Contains(a mem.Addr) bool {
-	a = a.Line()
-	set := c.setOf(a)
-	for i := range set {
-		if set[i].valid && set[i].tag == a {
-			return true
-		}
-	}
-	return false
+	return c.findWay(a.Line()) >= 0
 }
 
 // Fill inserts a line completing at readyCycle. prefetched marks
@@ -301,27 +326,25 @@ func (c *Cache) Contains(a mem.Addr) bool {
 // fill caused, if any. Filling a line that is already present only
 // refreshes its ready time (fills can race when a prefetch and a demand
 // miss overlap).
+//
+//pmp:hotpath
 func (c *Cache) Fill(a mem.Addr, readyCycle uint64, prefetched bool) Eviction {
 	a = a.Line()
-	set := c.setOf(a)
 	c.stamp++
 	if prefetched && c.statsOn {
 		c.stats.PrefetchFills++
 	}
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == a {
-			if readyCycle < l.ready {
-				l.ready = readyCycle
-			}
-			return Eviction{}
+	if i := c.findWay(a); i >= 0 {
+		if readyCycle < c.meta[i].ready {
+			c.meta[i].ready = readyCycle
 		}
+		return Eviction{}
 	}
-	victim := c.victimIn(set)
+	victim := c.victimIn(c.setBase(a))
 	ev := Eviction{}
-	v := &set[victim]
-	if v.valid {
-		ev = Eviction{Kind: EvictClean, Line: v.tag, Prefetched: v.prefetched, Used: v.used}
+	v := &c.meta[victim]
+	if vt := c.tags[victim]; vt != invalidTag {
+		ev = Eviction{Kind: EvictClean, Line: vt, Prefetched: v.prefetched, Used: v.used}
 		if v.prefetched && !v.used {
 			if c.statsOn {
 				c.stats.UselessPrefetx++
@@ -329,45 +352,49 @@ func (c *Cache) Fill(a mem.Addr, readyCycle uint64, prefetched bool) Eviction {
 			if c.PrefetchTrace != nil {
 				// The displacing fill's completion is the closest clock
 				// this path has to "now".
-				c.PrefetchTrace(PrefetchEvent{Kind: PrefetchDead, Line: v.tag, Cycle: readyCycle})
+				c.PrefetchTrace(PrefetchEvent{Kind: PrefetchDead, Line: vt, Cycle: readyCycle})
 			}
 			if c.PrefetchOutcome != nil {
-				c.PrefetchOutcome(v.tag, false)
+				c.PrefetchOutcome(vt, false)
 			}
 		}
 	}
-	*v = line{tag: a, valid: true, lru: c.stamp, rrpv: 2, ready: readyCycle, prefetched: prefetched}
+	c.tags[victim] = a
+	*v = lineMeta{lru: c.stamp, rrpv: 2, ready: readyCycle, prefetched: prefetched}
 	if prefetched && c.PrefetchTrace != nil {
 		c.PrefetchTrace(PrefetchEvent{Kind: PrefetchFilled, Line: a, Cycle: readyCycle})
 	}
 	return ev
 }
 
-// victimIn selects the replacement victim for a set under the
-// configured policy.
-func (c *Cache) victimIn(set []line) int {
-	for i := range set {
-		if !set[i].valid {
+// victimIn selects the replacement victim (as an array index) for the
+// set starting at base under the configured policy.
+//
+//pmp:hotpath
+func (c *Cache) victimIn(base int) int {
+	end := base + c.cfg.Ways
+	for i := base; i < end; i++ {
+		if c.tags[i] == invalidTag {
 			return i
 		}
 	}
 	if c.cfg.Policy == SRRIP {
 		for {
-			for i := range set {
-				if set[i].rrpv >= 3 {
+			for i := base; i < end; i++ {
+				if c.meta[i].rrpv >= 3 {
 					return i
 				}
 			}
-			for i := range set {
-				set[i].rrpv++
+			for i := base; i < end; i++ {
+				c.meta[i].rrpv++
 			}
 		}
 	}
-	victim := 0
+	victim := base
 	oldest := ^uint64(0)
-	for i := range set {
-		if set[i].lru < oldest {
-			oldest = set[i].lru
+	for i := base; i < end; i++ {
+		if c.meta[i].lru < oldest {
+			oldest = c.meta[i].lru
 			victim = i
 		}
 	}
@@ -377,28 +404,28 @@ func (c *Cache) victimIn(set []line) int {
 // Invalidate removes a line (inclusive-hierarchy back-invalidation). It
 // reports whether the line was present; an untouched prefetched line
 // counts as a useless prefetch.
+//
+//pmp:hotpath
 func (c *Cache) Invalidate(a mem.Addr) bool {
 	a = a.Line()
-	set := c.setOf(a)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == a {
-			if l.prefetched && !l.used {
-				if c.statsOn {
-					c.stats.UselessPrefetx++
-				}
-				if c.PrefetchTrace != nil {
-					c.PrefetchTrace(PrefetchEvent{Kind: PrefetchDead, Line: a})
-				}
-				if c.PrefetchOutcome != nil {
-					c.PrefetchOutcome(a, false)
-				}
-			}
-			l.valid = false
-			return true
+	i := c.findWay(a)
+	if i < 0 {
+		return false
+	}
+	l := &c.meta[i]
+	if l.prefetched && !l.used {
+		if c.statsOn {
+			c.stats.UselessPrefetx++
+		}
+		if c.PrefetchTrace != nil {
+			c.PrefetchTrace(PrefetchEvent{Kind: PrefetchDead, Line: a})
+		}
+		if c.PrefetchOutcome != nil {
+			c.PrefetchOutcome(a, false)
 		}
 	}
-	return false
+	c.tags[i] = invalidTag
+	return true
 }
 
 // --- MSHR model ---
@@ -443,9 +470,10 @@ func (c *Cache) EarliestCompletion(now uint64) (uint64, bool) {
 // Flush invalidates every line and clears in-flight state (used between
 // runs that share a cache object).
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		c.sets[i] = line{}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
+	clear(c.meta)
 	c.mshr.reset()
 	c.stamp = 0
 }

@@ -10,26 +10,55 @@ import "pmp/internal/mem"
 // of SRAM entries searched associatively, and modelling it as a small
 // linear-scan array is both faster and closer to the hardware.
 //
-// Semantics mirror the map exactly (the simulator's outputs are
-// bit-identical): an entry persists — even past its completion cycle —
-// until a prune (MSHRBusy or a capacity check inside reserve) removes
-// it, and reserving a line that still has an entry refreshes the
-// completion time without a capacity check.
-type mshrEntry struct {
-	line mem.Addr
-	done uint64 // completion cycle
+// Two summaries sit in front of the array and keep the common probes
+// O(1):
+//
+//   - minDone is a lower bound on every entry's completion cycle, so
+//     prune — called on every prefetch admission — returns without
+//     touching a single slot while no entry can have completed
+//     (minDone > now). The bound is maintained monotonically on
+//     insert/refresh and recomputed exactly whenever a scan happens
+//     anyway.
+//   - sig is a 64-bit line-hash signature (one Fibonacci-hashed bit per
+//     resident line, a 1-hash Bloom filter): find rejects absent lines
+//     with one AND instead of a scan. Bits are only ORed in; the
+//     signature is rebuilt exactly during prune's scan.
+//
+// Semantics mirror the original map exactly (the simulator's outputs
+// are bit-identical): an entry persists — even past its completion
+// cycle — until a prune (MSHRBusy or a capacity check inside reserve)
+// removes it, and reserving a line that still has an entry refreshes
+// the completion time without a capacity check.
+//
+// Lines and completion cycles live in parallel arrays
+// (structure-of-arrays) so the associative line search touches one
+// densely packed cache line of tags.
+type mshrFile struct {
+	lines   []mem.Addr // entries [0:n] are occupied
+	done    []uint64   // completion cycles, parallel to lines
+	n       int
+	minDone uint64 // lower bound on min done[0:n]; ^0 when empty
+	sig     uint64 // superset of lineSig bits of resident lines
 }
 
-type mshrFile struct {
-	slots []mshrEntry // entries [0:n] are occupied
-	n     int
+// lineSig hashes a line address to a single signature bit. Fibonacci
+// hashing (multiply by 2^64/phi, take the top bits) spreads the
+// low-entropy line addresses evenly across the 64 signature bits.
+//
+//pmp:hotpath
+func lineSig(line mem.Addr) uint64 {
+	return 1 << (uint64(line) * 0x9E3779B97F4A7C15 >> 58)
 }
 
 // newMSHRFile sizes the file for `capacity` simultaneous misses.
 // Capacity is exact: reserve prunes completed entries before inserting
 // and never admits past the caller's limit, so n <= capacity always.
 func newMSHRFile(capacity int) mshrFile {
-	return mshrFile{slots: make([]mshrEntry, capacity)}
+	return mshrFile{
+		lines:   make([]mem.Addr, capacity),
+		done:    make([]uint64, capacity),
+		minDone: ^uint64(0),
+	}
 }
 
 // find returns the slot index holding line, or -1. Stale entries
@@ -37,8 +66,11 @@ func newMSHRFile(capacity int) mshrFile {
 //
 //pmp:hotpath
 func (m *mshrFile) find(line mem.Addr) int {
+	if m.sig&lineSig(line) == 0 {
+		return -1
+	}
 	for i := 0; i < m.n; i++ {
-		if m.slots[i].line == line {
+		if m.lines[i] == line {
 			return i
 		}
 	}
@@ -46,18 +78,31 @@ func (m *mshrFile) find(line mem.Addr) int {
 }
 
 // prune drops entries whose completion is at or before now and returns
-// the number still busy.
+// the number still busy. While the cached completion lower bound sits
+// beyond now — the overwhelmingly common case between misses — nothing
+// can be prunable and no slot is touched. A real scan compacts the
+// file and rebuilds both summaries exactly.
 //
 //pmp:hotpath
 func (m *mshrFile) prune(now uint64) int {
+	if m.minDone > now {
+		return m.n
+	}
+	minDone := ^uint64(0)
+	var sig uint64
 	for i := 0; i < m.n; {
-		if m.slots[i].done <= now {
+		if m.done[i] <= now {
 			m.n--
-			m.slots[i] = m.slots[m.n]
+			m.lines[i] = m.lines[m.n]
+			m.done[i] = m.done[m.n]
 		} else {
+			minDone = min(minDone, m.done[i])
+			sig |= lineSig(m.lines[i])
 			i++
 		}
 	}
+	m.minDone = minDone
+	m.sig = sig
 	return m.n
 }
 
@@ -67,10 +112,10 @@ func (m *mshrFile) prune(now uint64) int {
 //pmp:hotpath
 func (m *mshrFile) inFlight(line mem.Addr, now uint64) (uint64, bool) {
 	i := m.find(line)
-	if i < 0 || m.slots[i].done <= now {
+	if i < 0 || m.done[i] <= now {
 		return 0, false
 	}
-	return m.slots[i].done, true
+	return m.done[i], true
 }
 
 // reserve allocates (or refreshes) the entry for line with completion
@@ -82,14 +127,18 @@ func (m *mshrFile) inFlight(line mem.Addr, now uint64) (uint64, bool) {
 //pmp:hotpath
 func (m *mshrFile) reserve(line mem.Addr, now, done uint64, limit int) bool {
 	if i := m.find(line); i >= 0 {
-		m.slots[i].done = done
+		m.done[i] = done
+		m.minDone = min(m.minDone, done)
 		return true
 	}
 	if m.prune(now) >= limit {
 		return false
 	}
-	m.slots[m.n] = mshrEntry{line: line, done: done}
+	m.lines[m.n] = line
+	m.done[m.n] = done
 	m.n++
+	m.minDone = min(m.minDone, done)
+	m.sig |= lineSig(line)
 	return true
 }
 
@@ -101,7 +150,7 @@ func (m *mshrFile) earliest(now uint64) (uint64, bool) {
 	best := ^uint64(0)
 	found := false
 	for i := 0; i < m.n; i++ {
-		if d := m.slots[i].done; d > now && d < best {
+		if d := m.done[i]; d > now && d < best {
 			best = d
 			found = true
 		}
@@ -110,4 +159,8 @@ func (m *mshrFile) earliest(now uint64) (uint64, bool) {
 }
 
 // reset discards every entry.
-func (m *mshrFile) reset() { m.n = 0 }
+func (m *mshrFile) reset() {
+	m.n = 0
+	m.minDone = ^uint64(0)
+	m.sig = 0
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmp/internal/mem"
+	"pmp/internal/prefetch"
+)
+
+// diffExtractors builds one extractor per scheme with the given float
+// thresholds, so every scheme's mask-first path is exercised against
+// its float reference.
+func diffExtractors(tl1d, tl2c float64, anel1, anel2 uint32) []extractor {
+	var es []extractor
+	for _, s := range []Scheme{AFE, ANE, ARE} {
+		cfg := DefaultConfig()
+		cfg.Scheme = s
+		cfg.TL1D, cfg.TL2C = tl1d, tl2c
+		cfg.ANEL1, cfg.ANEL2 = anel1, anel2
+		es = append(es, newExtractor(cfg))
+	}
+	return es
+}
+
+// checkExtractAgainstReference runs the mask-first ExtractRow on both
+// table implementations and the per-offset float Extract on the scalar
+// row, and demands all three agree at every offset.
+func checkExtractAgainstReference(t *testing.T, e extractor,
+	scalar *mem.CounterTable, packed mem.PatternTable, row int) {
+	t.Helper()
+	length := scalar.RowLen()
+	ref := make([]prefetch.Level, length)
+	gotScalar := make([]prefetch.Level, length)
+	gotPacked := make([]prefetch.Level, length)
+	e.Extract(scalar.Row(row), ref)
+	ref[0] = prefetch.LevelNone // ExtractRow never targets the trigger
+	e.ExtractRow(scalar, row, gotScalar)
+	e.ExtractRow(packed, row, gotPacked)
+	for i := 0; i < length; i++ {
+		if gotScalar[i] != ref[i] {
+			t.Fatalf("scheme %v row %d offset %d: mask-first scalar %v, float reference %v\nrow: %s",
+				e.scheme, row, i, gotScalar[i], ref[i], scalar.Row(row))
+		}
+		if gotPacked[i] != ref[i] {
+			t.Fatalf("scheme %v row %d offset %d: mask-first packed %v, float reference %v\nrow: %s",
+				e.scheme, row, i, gotPacked[i], ref[i], scalar.Row(row))
+		}
+	}
+}
+
+// TestExtractRowMatchesFloatReference is the differential fuzz the
+// extract.go doc comment promises: the mask-first ExtractRow (scalar
+// and packed tables) must agree bit-for-bit with the per-offset float
+// Extract on every reachable table state, across all three schemes and
+// a spread of thresholds including exact rounding boundaries.
+func TestExtractRowMatchesFloatReference(t *testing.T) {
+	thresholds := []struct {
+		tl1d, tl2c   float64
+		anel1, anel2 uint32
+	}{
+		{0.5, 0.15, 16, 5},   // paper defaults
+		{1, 0.5, 31, 31},     // only saturated counters clear L1
+		{0, 0, 0, 0},         // everything clears both (precedence test)
+		{0.25, 0.25, 8, 8},   // equal thresholds: L1 precedence everywhere
+		{1.0 / 3, 0.2, 1, 1}, // non-representable float threshold
+		{2, 1.5, 40, 33},     // unreachable (> max): no targets ever
+	}
+	geometries := []struct{ length, bits int }{
+		{64, 5}, // paper default
+		{16, 4}, // headline 4-bit packing, PPT-style short rows
+		{33, 6}, // ragged tail word
+	}
+	for _, g := range geometries {
+		rng := rand.New(rand.NewSource(int64(g.length*100 + g.bits)))
+		const entries = 4
+		scalar := mem.NewCounterTable(entries, g.length, g.bits)
+		packed := mem.NewPackedCounterTable(entries, g.length, g.bits)
+		for step := 0; step < 1500; step++ {
+			row := rng.Intn(entries)
+			if rng.Intn(8) == 0 {
+				scalar.HalveRow(row)
+				packed.HalveRow(row)
+			} else {
+				p := randomAnchoredPattern(rng, g.length)
+				scalar.MergeRow(row, p)
+				packed.MergeRow(row, p)
+			}
+			th := thresholds[step%len(thresholds)]
+			for _, e := range diffExtractors(th.tl1d, th.tl2c, th.anel1, th.anel2) {
+				checkExtractAgainstReference(t, e, scalar, packed, row)
+			}
+		}
+	}
+}
+
+// TestExtractRowEmptyDenominator pins the silent-row contract: a row
+// whose time counter (AFE) or counter sum (ARE) is zero yields no
+// targets from either path.
+func TestExtractRowEmptyDenominator(t *testing.T) {
+	scalar := mem.NewCounterTable(1, 8, 5)
+	packed := mem.NewPackedCounterTable(1, 8, 5)
+	for _, e := range diffExtractors(0.5, 0.15, 16, 5) {
+		checkExtractAgainstReference(t, e, scalar, packed, 0)
+	}
+}
+
+func randomAnchoredPattern(rng *rand.Rand, length int) mem.BitVector {
+	p := mem.NewBitVector(length)
+	p.Set(0)
+	for i := 1; i < length; i++ {
+		if rng.Intn(3) == 0 {
+			p.Set(i)
+		}
+	}
+	return p
+}
+
+// FuzzExtractRow lets the fuzzer hunt for threshold/counter states
+// where integer pre-scaling could drift from the float semantics.
+func FuzzExtractRow(f *testing.F) {
+	f.Add(uint64(0xFFFF_0000_FFFF_0001), uint8(3), uint16(500), uint16(150))
+	f.Add(uint64(1), uint8(63), uint16(1000), uint16(1000))
+	f.Add(^uint64(0), uint8(200), uint16(0), uint16(0))
+	f.Fuzz(func(t *testing.T, patternBits uint64, merges uint8, thr1m, thr2m uint16) {
+		const length, bits = 64, 5
+		scalar := mem.NewCounterTable(1, length, bits)
+		packed := mem.NewPackedCounterTable(1, length, bits)
+		p := mem.NewBitVector(length)
+		for o := 0; o < length; o++ {
+			if patternBits&(1<<uint(o)) != 0 {
+				p.Set(o)
+			}
+		}
+		p.Set(0)
+		for i := 0; i < int(merges%64)+1; i++ {
+			scalar.MergeRow(0, p)
+			packed.MergeRow(0, p)
+		}
+		// Thresholds in [0, ~1.6), quantized; fuzzer steers the mantissa.
+		tl1d := float64(thr1m) / 40000
+		tl2c := float64(thr2m) / 40000
+		for _, e := range diffExtractors(tl1d, tl2c, uint32(thr1m%40), uint32(thr2m%40)) {
+			checkExtractAgainstReference(t, e, scalar, packed, 0)
+		}
+	})
+}

@@ -1,20 +1,30 @@
 package core
 
 import (
+	"math/bits"
+
 	"pmp/internal/mem"
 	"pmp/internal/prefetch"
 )
 
 // pbEntry holds one arbitrated prefetch pattern awaiting issue, keyed by
 // region (paper Fig 6c bottom).
+//
+// The per-target issue state is two rank bitmaps rather than a []bool:
+// bit r of targetRank marks that order[r] is a real target (level !=
+// LevelNone at insert), bit r of pendingRank that it is still awaiting
+// issue. Draining walks pendingRank's set bits with TrailingZeros64 —
+// nearest-first for free, since ranks are already nearest-first — and a
+// requeued target is re-armed with one OR. Issued-but-unacknowledged
+// targets are exactly targetRank &^ pendingRank.
 type pbEntry struct {
-	valid   bool
-	region  uint64
-	trigger int              // trigger line offset, to unanchor targets
-	levels  []prefetch.Level // anchored target levels; index 0 unused
-	issued  []bool           // per anchored index
-	pending int              // cached count of unissued targets
-	lru     uint64
+	valid       bool
+	region      uint64
+	trigger     int              // trigger line offset, to unanchor targets
+	levels      []prefetch.Level // anchored target levels; index 0 unused
+	targetRank  uint64           // bit r: order[r] is a target
+	pendingRank uint64           // bit r: order[r] not yet issued
+	lru         uint64
 }
 
 // prefetchBuffer is PMP's Prefetch Buffer: a small fully-associative
@@ -29,7 +39,21 @@ type prefetchBuffer struct {
 	// (anchored index k targets line (trigger+k) mod n, so small k is
 	// just ahead of the trigger and n-k just behind).
 	order []int
-	stamp uint64
+	// rankOf inverts order: rankOf[order[r]] == r (rankOf[0] unused).
+	rankOf []int
+	// hint is the slot of the most recently matched region. Requeues and
+	// touches arrive in bursts against one region (a drain bounced off a
+	// full MSHR file hands every request of the entry back), so checking
+	// it first turns the associative scan into a single compare.
+	hint int
+	// pendingSlots has bit i set when entries[i] is valid with at least
+	// one pending target, so the MRU search visits only drainable
+	// entries (usually one) instead of every slot.
+	pendingSlots []uint64
+	// drainSlot is the slot mruPending last returned, so DrainInto can
+	// clear its pending bit without a reverse lookup.
+	drainSlot int
+	stamp     uint64
 	// crossRegion projects wrapping targets into the next region
 	// (extension; see core.Config.CrossRegion).
 	crossRegion bool
@@ -44,14 +68,19 @@ func newPrefetchBuffer(entries int, region mem.Region) *prefetchBuffer {
 			order = append(order, other)
 		}
 	}
+	rankOf := make([]int, n)
+	for r, k := range order {
+		rankOf[k] = r
+	}
 	pb := &prefetchBuffer{
-		entries: make([]pbEntry, entries),
-		region:  region,
-		order:   order,
+		entries:      make([]pbEntry, entries),
+		region:       region,
+		order:        order,
+		rankOf:       rankOf,
+		pendingSlots: make([]uint64, (entries+63)/64),
 	}
 	for i := range pb.entries {
 		pb.entries[i].levels = make([]prefetch.Level, n)
-		pb.entries[i].issued = make([]bool, n)
 	}
 	return pb
 }
@@ -79,33 +108,67 @@ func (pb *prefetchBuffer) Insert(region uint64, trigger int, levels []prefetch.L
 			oldest, victim = e.lru, i
 		}
 	}
+	pb.hint = victim
 	e := &pb.entries[victim]
 	e.valid = true
 	e.region = region
 	e.trigger = trigger
 	e.lru = pb.stamp
 	copy(e.levels, levels)
-	e.pending = 0
-	for i := range e.issued {
-		e.issued[i] = false
-		if i > 0 && e.levels[i] != prefetch.LevelNone {
-			e.pending++
+	e.targetRank = 0
+	for r, k := range pb.order {
+		if levels[k] != prefetch.LevelNone {
+			e.targetRank |= 1 << uint(r)
 		}
+	}
+	e.pendingRank = e.targetRank
+	pb.setPending(victim, e.pendingRank != 0)
+}
+
+// setPending records whether slot i has pending targets.
+//
+//pmp:hotpath
+func (pb *prefetchBuffer) setPending(i int, pending bool) {
+	if pending {
+		pb.pendingSlots[i>>6] |= 1 << uint(i&63)
+	} else {
+		pb.pendingSlots[i>>6] &^= 1 << uint(i&63)
 	}
 }
 
 // Touch bumps the region's entry to MRU so draining resumes there. It
 // reports whether the region was present.
+//
+//pmp:hotpath
 func (pb *prefetchBuffer) Touch(region uint64) bool {
+	i, ok := pb.lookup(region)
+	if !ok {
+		return false
+	}
+	pb.stamp++
+	pb.entries[i].lru = pb.stamp
+	return true
+}
+
+// lookup returns the slot holding region's entry. Regions are unique
+// across slots (Insert replaces in place), so the hint-first probe is
+// exact, not just heuristic.
+//
+//pmp:hotpath
+func (pb *prefetchBuffer) lookup(region uint64) (int, bool) {
+	if h := pb.hint; h < len(pb.entries) {
+		if e := &pb.entries[h]; e.valid && e.region == region {
+			return h, true
+		}
+	}
 	for i := range pb.entries {
 		e := &pb.entries[i]
 		if e.valid && e.region == region {
-			pb.stamp++
-			e.lru = pb.stamp
-			return true
+			pb.hint = i
+			return i, true
 		}
 	}
-	return false
+	return 0, false
 }
 
 // Drain emits up to max requests, MRU entry first, nearest offsets
@@ -119,27 +182,30 @@ func (pb *prefetchBuffer) Drain(max int) []prefetch.Request {
 
 // DrainInto emits up to max requests like Drain, appending them to the
 // caller-owned dst: the allocation-free fast path behind
-// prefetch.BulkIssuer.
+// prefetch.BulkIssuer. The inner walk visits only pending targets —
+// one TrailingZeros64 per emitted request — instead of scanning every
+// rank of the order.
+//
+//pmp:hotpath
 func (pb *prefetchBuffer) DrainInto(dst []prefetch.Request, max int) []prefetch.Request {
 	if max <= 0 {
 		return dst
 	}
+	n := pb.region.Lines()
 	emitted := 0
 	for emitted < max {
 		e := pb.mruPending()
 		if e == nil {
 			break
 		}
-		for _, k := range pb.order {
-			if emitted >= max {
-				break
+
+		for m := e.pendingRank; m != 0 && emitted < max; m &= m - 1 {
+			r := bits.TrailingZeros64(m)
+			k := pb.order[r]
+			e.pendingRank &^= 1 << uint(r)
+			if e.pendingRank == 0 {
+				pb.setPending(pb.drainSlot, false)
 			}
-			if e.issued[k] || e.levels[k] == prefetch.LevelNone {
-				continue
-			}
-			e.issued[k] = true
-			e.pending--
-			n := pb.region.Lines()
 			regionID := e.region
 			raw := e.trigger + k
 			if raw >= n && pb.crossRegion {
@@ -162,6 +228,8 @@ func (pb *prefetchBuffer) DrainInto(dst []prefetch.Request, max int) []prefetch.
 // re-issues it. Unknown regions (entry since replaced) are dropped.
 // With cross-region projection a target may live in the entry of the
 // preceding region.
+//
+//pmp:hotpath
 func (pb *prefetchBuffer) Requeue(region uint64, offset int) {
 	if pb.requeueIn(region, region, offset) {
 		return
@@ -173,38 +241,47 @@ func (pb *prefetchBuffer) Requeue(region uint64, offset int) {
 
 // requeueIn re-arms the target of `entryRegion` whose projected address
 // lands at (targetRegion, offset). It reports whether the entry exists.
+//
+//pmp:hotpath
 func (pb *prefetchBuffer) requeueIn(entryRegion, targetRegion uint64, offset int) bool {
-	for i := range pb.entries {
-		e := &pb.entries[i]
-		if !e.valid || e.region != entryRegion {
-			continue
-		}
-		n := pb.region.Lines()
-		raw := offset - e.trigger
-		if targetRegion == entryRegion+1 {
-			raw += n
-		} else if raw < 0 {
-			raw += n
-		}
-		if raw > 0 && raw < n && e.levels[raw] != prefetch.LevelNone && e.issued[raw] {
-			e.issued[raw] = false
-			e.pending++
-		}
-		return true
+	i, ok := pb.lookup(entryRegion)
+	if !ok {
+		return false
 	}
-	return false
+	e := &pb.entries[i]
+	n := pb.region.Lines()
+	raw := offset - e.trigger
+	if targetRegion == entryRegion+1 {
+		raw += n
+	} else if raw < 0 {
+		raw += n
+	}
+	if raw > 0 && raw < n {
+		// Re-arm only a real target that was actually issued.
+		bit := uint64(1) << uint(pb.rankOf[raw])
+		e.pendingRank |= e.targetRank &^ e.pendingRank & bit
+		if e.pendingRank != 0 {
+			pb.setPending(i, true)
+		}
+	}
+	return true
 }
 
+// mruPending returns the MRU entry with pending targets (recording its
+// slot in drainSlot), walking only the pendingSlots bitmap.
+//
+//pmp:hotpath
 func (pb *prefetchBuffer) mruPending() *pbEntry {
 	var best *pbEntry
 	var bestLRU uint64
-	for i := range pb.entries {
-		e := &pb.entries[i]
-		if !e.valid || e.pending == 0 {
-			continue
-		}
-		if best == nil || e.lru > bestLRU {
-			best, bestLRU = e, e.lru
+	for w, bmw := range pb.pendingSlots {
+		for m := bmw; m != 0; m &= m - 1 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			e := &pb.entries[i]
+			if best == nil || e.lru > bestLRU {
+				best, bestLRU = e, e.lru
+				pb.drainSlot = i
+			}
 		}
 	}
 	return best

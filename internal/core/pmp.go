@@ -26,11 +26,12 @@ type PMP struct {
 	ext    extractor
 	pb     *prefetchBuffer
 
-	// Pattern tables as dense counter arrays: contiguous backing
-	// storage keeps the per-trigger probe to one indexed load instead
-	// of a pointer chase through per-vector heap objects.
-	opt *mem.CounterTable // primary table (trigger-offset indexed)
-	ppt *mem.CounterTable // supplement table (PC indexed, coarse)
+	// Pattern tables behind the PatternTable interface: by default the
+	// bit-parallel PackedCounterTable (64/bits counters per uint64 word,
+	// SWAR merge/halve/compare), with the scalar CounterTable as the
+	// reference fallback for counter widths too wide to pack.
+	opt mem.PatternTable // primary table (trigger-offset indexed)
+	ppt mem.PatternTable // supplement table (PC indexed, coarse)
 
 	// scratch buffers reused across predictions
 	optLevels []prefetch.Level
@@ -77,17 +78,17 @@ func New(cfg Config) *PMP {
 	p.pb.crossRegion = cfg.CrossRegion
 	switch cfg.Feature {
 	case DualTables:
-		p.opt = mem.NewCounterTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
-		p.ppt = mem.NewCounterTable(1<<cfg.PCBits, cfg.PPTLen(), cfg.PPTCounterBits)
+		p.opt = mem.NewPatternTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
+		p.ppt = mem.NewPatternTable(1<<cfg.PCBits, cfg.PPTLen(), cfg.PPTCounterBits)
 		p.pptLevels = make([]prefetch.Level, cfg.PPTLen())
 	case OPTOnly:
-		p.opt = mem.NewCounterTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
+		p.opt = mem.NewPatternTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
 	case PPTOnly:
 		// Sized like the OPT (§V-E3), indexed by hashed PC, full length.
-		p.ppt = mem.NewCounterTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
+		p.ppt = mem.NewPatternTable(1<<cfg.TriggerBits, n, cfg.OPTCounterBits)
 		p.pptLevels = make([]prefetch.Level, n)
 	case Combined:
-		p.opt = mem.NewCounterTable(1<<(cfg.TriggerBits+cfg.PCBits), n, cfg.OPTCounterBits)
+		p.opt = mem.NewPatternTable(1<<(cfg.TriggerBits+cfg.PCBits), n, cfg.OPTCounterBits)
 	}
 	return p
 }
@@ -149,25 +150,28 @@ func (p *PMP) merge(pat sms.Pattern) {
 	anchored := pat.Anchored()
 	switch p.cfg.Feature {
 	case DualTables:
-		p.mergeInto(p.opt.Row(p.triggerIndex(pat.TriggerAddr)), anchored)
-		p.mergeInto(p.ppt.Row(p.pcIndex(pat.PC)), anchored.Fold(p.cfg.MonitoringRange))
+		p.mergeInto(p.opt, p.triggerIndex(pat.TriggerAddr), anchored)
+		p.mergeInto(p.ppt, p.pcIndex(pat.PC), anchored.Fold(p.cfg.MonitoringRange))
 	case OPTOnly:
-		p.mergeInto(p.opt.Row(p.triggerIndex(pat.TriggerAddr)), anchored)
+		p.mergeInto(p.opt, p.triggerIndex(pat.TriggerAddr), anchored)
 	case PPTOnly:
-		p.mergeInto(p.ppt.Row(int(mem.HashPC(pat.PC, p.cfg.TriggerBits))), anchored)
+		p.mergeInto(p.ppt, int(mem.HashPC(pat.PC, p.cfg.TriggerBits)), anchored)
 	case Combined:
 		idx := p.pcIndex(pat.PC)<<p.cfg.TriggerBits | p.triggerIndex(pat.TriggerAddr)
-		p.mergeInto(p.opt.Row(idx), anchored)
+		p.mergeInto(p.opt, idx, anchored)
 	}
 }
 
-// mergeInto accumulates a pattern, honouring the halving ablation.
-func (p *PMP) mergeInto(cv *mem.CounterVector, pattern mem.BitVector) {
+// mergeInto accumulates a pattern into a table row, honouring the
+// halving ablation.
+//
+//pmp:hotpath
+func (p *PMP) mergeInto(t mem.PatternTable, row int, pattern mem.BitVector) {
 	if p.cfg.NoHalving {
-		cv.MergeNoHalve(pattern)
+		t.MergeRowNoHalve(row, pattern)
 		return
 	}
-	if cv.Merge(pattern) {
+	if t.MergeRow(row, pattern) {
 		p.stats.Halvings++
 	}
 }
@@ -178,18 +182,18 @@ func (p *PMP) predict(trig sms.Trigger) {
 	p.stats.Predictions++
 	switch p.cfg.Feature {
 	case DualTables:
-		p.ext.Extract(p.opt.Row(p.triggerIndex(trig.Addr)), p.optLevels)
-		p.ext.Extract(p.ppt.Row(p.pcIndex(trig.PC)), p.pptLevels)
+		p.ext.ExtractRow(p.opt, p.triggerIndex(trig.Addr), p.optLevels)
+		p.ext.ExtractRow(p.ppt, p.pcIndex(trig.PC), p.pptLevels)
 		p.arbitrate()
 	case OPTOnly:
-		p.ext.Extract(p.opt.Row(p.triggerIndex(trig.Addr)), p.optLevels)
+		p.ext.ExtractRow(p.opt, p.triggerIndex(trig.Addr), p.optLevels)
 		copy(p.final, p.optLevels)
 	case PPTOnly:
-		p.ext.Extract(p.ppt.Row(int(mem.HashPC(trig.PC, p.cfg.TriggerBits))), p.pptLevels)
+		p.ext.ExtractRow(p.ppt, int(mem.HashPC(trig.PC, p.cfg.TriggerBits)), p.pptLevels)
 		copy(p.final, p.pptLevels)
 	case Combined:
 		idx := p.pcIndex(trig.PC)<<p.cfg.TriggerBits | p.triggerIndex(trig.Addr)
-		p.ext.Extract(p.opt.Row(idx), p.optLevels)
+		p.ext.ExtractRow(p.opt, idx, p.optLevels)
 		copy(p.final, p.optLevels)
 	}
 	p.capLowLevel()

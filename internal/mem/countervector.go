@@ -63,7 +63,7 @@ func (cv *CounterVector) Merge(p BitVector) (halved bool) {
 	if p.Len() != len(cv.c) {
 		panic("mem: pattern length does not match counter vector")
 	}
-	if !p.Test(0) {
+	if p.Bits()&1 == 0 {
 		panic("mem: merging unanchored pattern (trigger bit clear)")
 	}
 	b := p.Bits()
@@ -87,7 +87,7 @@ func (cv *CounterVector) MergeNoHalve(p BitVector) {
 	if p.Len() != len(cv.c) {
 		panic("mem: pattern length does not match counter vector")
 	}
-	if !p.Test(0) {
+	if p.Bits()&1 == 0 {
 		panic("mem: merging unanchored pattern (trigger bit clear)")
 	}
 	b := p.Bits()
@@ -106,11 +106,10 @@ func (cv *CounterVector) Halve() {
 	}
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters (same idiom as CounterTable.Reset: one
+// clear, not an element loop).
 func (cv *CounterVector) Reset() {
-	for i := range cv.c {
-		cv.c[i] = 0
-	}
+	clear(cv.c)
 }
 
 // Frequency returns counter[i]/time as a float in [0, +inf); it returns

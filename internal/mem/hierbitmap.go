@@ -1,0 +1,150 @@
+package mem
+
+import "math/bits"
+
+// HierBitmap is a two-level bitmap over a fixed universe of up to 4096
+// slots: a summary word with one bit per 64-slot lane word, plus the
+// lane words themselves. Minimum-index lookup is O(1) — one CLZ on the
+// summary, one CLZ on the selected lane word — and every mutation is a
+// couple of masked OR/AND-NOT operations, so the structure serves as an
+// allocation-free priority index (SupraX-style, SNIPPETS §9.1): bit i
+// stands for "slot/priority i is live" and First finds the minimum in
+// two instructions regardless of population.
+//
+// Bits are stored MSB-first (index 0 is the most significant bit of
+// word 0) so that the minimum index is found with
+// bits.LeadingZeros64 — the hardware CLZ idiom the hierarchical queue
+// literature is built on — rather than a software loop.
+type HierBitmap struct {
+	summary uint64
+	words   []uint64
+	n       int
+}
+
+// MaxHierBitmap is the largest universe a HierBitmap supports: 64 lane
+// words of 64 bits under a single summary word.
+const MaxHierBitmap = 64 * 64
+
+// NewHierBitmap returns an empty bitmap over indices [0, n). n must be
+// in [1, MaxHierBitmap].
+func NewHierBitmap(n int) HierBitmap {
+	if n < 1 || n > MaxHierBitmap {
+		panic("mem: hierarchical bitmap universe must be in [1, 4096]")
+	}
+	return HierBitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the universe size.
+func (b *HierBitmap) Len() int { return b.n }
+
+// bitOf maps index i to its (word, MSB-first mask) pair.
+func bitOf(i int) (int, uint64) { return i >> 6, 1 << uint(63-i&63) }
+
+// Set marks index i live.
+//
+//pmp:hotpath
+func (b *HierBitmap) Set(i int) {
+	b.check(i)
+	w, m := bitOf(i)
+	b.words[w] |= m
+	b.summary |= 1 << uint(63-w)
+}
+
+// Clear unmarks index i.
+//
+//pmp:hotpath
+func (b *HierBitmap) Clear(i int) {
+	b.check(i)
+	w, m := bitOf(i)
+	b.words[w] &^= m
+	if b.words[w] == 0 {
+		b.summary &^= 1 << uint(63-w)
+	}
+}
+
+// Test reports whether index i is live.
+//
+//pmp:hotpath
+func (b *HierBitmap) Test(i int) bool {
+	b.check(i)
+	w, m := bitOf(i)
+	return b.words[w]&m != 0
+}
+
+func (b *HierBitmap) check(i int) {
+	if i < 0 || i >= b.n {
+		panic("mem: hierarchical bitmap index out of range")
+	}
+}
+
+// First returns the minimum live index, or (0, false) when the bitmap
+// is empty. Two CLZ instructions, no loops.
+//
+//pmp:hotpath
+func (b *HierBitmap) First() (int, bool) {
+	if b.summary == 0 {
+		return 0, false
+	}
+	w := bits.LeadingZeros64(b.summary)
+	return w<<6 + bits.LeadingZeros64(b.words[w]), true
+}
+
+// NextAfter returns the minimum live index strictly greater than i, or
+// (0, false) when none exists. It is the closure-free iteration
+// primitive: start with First, then call NextAfter until false.
+//
+//pmp:hotpath
+func (b *HierBitmap) NextAfter(i int) (int, bool) {
+	if i < 0 {
+		return b.First()
+	}
+	if i >= b.n-1 {
+		return 0, false
+	}
+	w, m := bitOf(i + 1)
+	// Bits at or below (MSB-first: less significant than) index i+1's
+	// position within its word.
+	if rest := b.words[w] & (m | (m - 1)); rest != 0 {
+		return w<<6 + bits.LeadingZeros64(rest), true
+	}
+	// Later words via the summary.
+	sm := uint64(1) << uint(63-w)
+	rest := b.summary & (sm - 1)
+	if rest == 0 {
+		return 0, false
+	}
+	w = bits.LeadingZeros64(rest)
+	return w<<6 + bits.LeadingZeros64(b.words[w]), true
+}
+
+// Count returns the number of live indices.
+func (b *HierBitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no index is live.
+//
+//pmp:hotpath
+func (b *HierBitmap) Empty() bool { return b.summary == 0 }
+
+// Reset clears every index.
+func (b *HierBitmap) Reset() {
+	b.summary = 0
+	clear(b.words)
+}
+
+// Fill marks every index in the universe live.
+func (b *HierBitmap) Fill() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+		b.summary |= 1 << uint(63-i)
+	}
+	// Trim the tail word to the universe.
+	if tail := b.n & 63; tail != 0 {
+		b.words[len(b.words)-1] = ^(^uint64(0) >> uint(tail))
+	}
+}

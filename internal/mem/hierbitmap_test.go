@@ -1,0 +1,139 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHierBitmapBasics(t *testing.T) {
+	b := NewHierBitmap(200)
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("new bitmap not empty")
+	}
+	if _, ok := b.First(); ok {
+		t.Fatal("First on empty bitmap reported a live index")
+	}
+	for _, i := range []int{0, 63, 64, 127, 199} {
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("Test(%d) false after Set", i)
+		}
+	}
+	if b.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", b.Count())
+	}
+	if i, ok := b.First(); !ok || i != 0 {
+		t.Fatalf("First = %d,%v, want 0,true", i, ok)
+	}
+	b.Clear(0)
+	if i, ok := b.First(); !ok || i != 63 {
+		t.Fatalf("First after Clear(0) = %d,%v, want 63,true", i, ok)
+	}
+	// Iterate in order via NextAfter.
+	want := []int{63, 64, 127, 199}
+	var got []int
+	for i, ok := b.First(); ok; i, ok = b.NextAfter(i) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iteration = %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("iteration = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHierBitmapFillAndReset(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 130, MaxHierBitmap} {
+		b := NewHierBitmap(n)
+		b.Fill()
+		if b.Count() != n {
+			t.Fatalf("n=%d: Count after Fill = %d", n, b.Count())
+		}
+		if i, ok := b.First(); !ok || i != 0 {
+			t.Fatalf("n=%d: First after Fill = %d,%v", n, i, ok)
+		}
+		// The tail word must not contain bits past the universe.
+		if n < MaxHierBitmap {
+			last := n - 1
+			b.Clear(last)
+			if b.Count() != n-1 {
+				t.Fatalf("n=%d: Count after Clear(last) = %d", n, b.Count())
+			}
+		}
+		b.Reset()
+		if !b.Empty() {
+			t.Fatalf("n=%d: not empty after Reset", n)
+		}
+	}
+}
+
+// TestHierBitmapVsReference drives random operations against a plain
+// boolean-slice model.
+func TestHierBitmapVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 300
+	b := NewHierBitmap(n)
+	ref := make([]bool, n)
+	refFirstAfter := func(after int) (int, bool) {
+		for i := after + 1; i < n; i++ {
+			if ref[i] {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	for step := 0; step < 20000; step++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			b.Set(i)
+			ref[i] = true
+		case 1:
+			b.Clear(i)
+			ref[i] = false
+		case 2:
+			if b.Test(i) != ref[i] {
+				t.Fatalf("step %d: Test(%d) = %v, want %v", step, i, b.Test(i), ref[i])
+			}
+		}
+		if gi, gok := b.First(); true {
+			wi, wok := refFirstAfter(-1)
+			if gok != wok || (gok && gi != wi) {
+				t.Fatalf("step %d: First = %d,%v, want %d,%v", step, gi, gok, wi, wok)
+			}
+		}
+		j := rng.Intn(n)
+		gi, gok := b.NextAfter(j)
+		wi, wok := refFirstAfter(j)
+		if gok != wok || (gok && gi != wi) {
+			t.Fatalf("step %d: NextAfter(%d) = %d,%v, want %d,%v", step, j, gi, gok, wi, wok)
+		}
+	}
+}
+
+func TestHierBitmapBounds(t *testing.T) {
+	for _, n := range []int{0, -1, MaxHierBitmap + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHierBitmap(%d) did not panic", n)
+				}
+			}()
+			NewHierBitmap(n)
+		}()
+	}
+	b := NewHierBitmap(10)
+	for _, i := range []int{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%d) did not panic", i)
+				}
+			}()
+			b.Set(i)
+		}()
+	}
+}

@@ -1,0 +1,252 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomAnchored returns a random anchored pattern (bit 0 always set).
+func randomAnchored(rng *rand.Rand, length int) BitVector {
+	p := NewBitVector(length)
+	p.Set(0)
+	for i := 1; i < length; i++ {
+		if rng.Intn(3) == 0 {
+			p.Set(i)
+		}
+	}
+	return p
+}
+
+// checkRowsEqual compares every counter of a row across the two
+// implementations.
+func checkRowsEqual(t *testing.T, scalar *CounterTable, packed *PackedCounterTable, row int) {
+	t.Helper()
+	for j := 0; j < scalar.RowLen(); j++ {
+		if s, p := scalar.RowCounter(row, j), packed.RowCounter(row, j); s != p {
+			t.Fatalf("row %d counter %d: scalar %d, packed %d\nscalar %s\npacked %s",
+				row, j, s, p, scalar.Row(row), packed.RowString(row))
+		}
+	}
+}
+
+// TestPackedMatchesScalar drives identical random operation streams
+// through the scalar and packed tables and demands bit-identical
+// state and outputs at every step: counters, halve points, time
+// counters, sums, and threshold-compare masks.
+func TestPackedMatchesScalar(t *testing.T) {
+	geometries := []struct{ entries, length, bits int }{
+		{4, 64, 5},  // paper default OPT geometry (12 lanes/word)
+		{4, 64, 4},  // headline packing: 16 counters per word
+		{4, 16, 4},  // PPT-style short rows
+		{2, 64, 1},  // degenerate 1-bit counters (saturate immediately)
+		{2, 7, 3},   // row shorter than one word, partial last word
+		{2, 64, 16}, // widest packable counters, 4 lanes/word
+		{2, 33, 6},  // 10 lanes/word, ragged tail
+	}
+	for _, g := range geometries {
+		rng := rand.New(rand.NewSource(int64(g.entries*1000 + g.length*10 + g.bits)))
+		scalar := NewCounterTable(g.entries, g.length, g.bits)
+		packed := NewPackedCounterTable(g.entries, g.length, g.bits)
+		if packed.MaxCounter() != scalar.MaxCounter() {
+			t.Fatalf("%+v: MaxCounter mismatch", g)
+		}
+		for step := 0; step < 4000; step++ {
+			row := rng.Intn(g.entries)
+			switch rng.Intn(10) {
+			case 0:
+				scalar.HalveRow(row)
+				packed.HalveRow(row)
+			case 1:
+				p := randomAnchored(rng, g.length)
+				scalar.MergeRowNoHalve(row, p)
+				packed.MergeRowNoHalve(row, p)
+			case 2:
+				thr1 := uint32(rng.Intn(int(scalar.MaxCounter()) + 3))
+				thr2 := uint32(rng.Intn(int(scalar.MaxCounter()) + 3))
+				sg1, sg2 := scalar.CompareRow(row, thr1, thr2)
+				pg1, pg2 := packed.CompareRow(row, thr1, thr2)
+				if sg1 != pg1 || sg2 != pg2 {
+					t.Fatalf("%+v row %d CompareRow(%d, %d): scalar (%#x, %#x), packed (%#x, %#x)\nrow: %s",
+						g, row, thr1, thr2, sg1, sg2, pg1, pg2, scalar.Row(row))
+				}
+			default:
+				p := randomAnchored(rng, g.length)
+				sh := scalar.MergeRow(row, p)
+				ph := packed.MergeRow(row, p)
+				if sh != ph {
+					t.Fatalf("%+v row %d step %d: halved: scalar %v, packed %v", g, row, step, sh, ph)
+				}
+			}
+			if st, pt := scalar.RowTime(row), packed.RowTime(row); st != pt {
+				t.Fatalf("%+v row %d: RowTime: scalar %d, packed %d", g, row, st, pt)
+			}
+			if ss, ps := scalar.RowSum(row), packed.RowSum(row); ss != ps {
+				t.Fatalf("%+v row %d: RowSum: scalar %d, packed %d", g, row, ss, ps)
+			}
+			checkRowsEqual(t, scalar, packed, row)
+		}
+		scalar.Reset()
+		packed.Reset()
+		for row := 0; row < g.entries; row++ {
+			checkRowsEqual(t, scalar, packed, row)
+		}
+	}
+}
+
+// FuzzPackedMerge feeds arbitrary pattern/threshold streams through
+// both implementations of one row.
+func FuzzPackedMerge(f *testing.F) {
+	f.Add(uint64(0xFFFF_FFFF_0000_0001), uint8(3), uint8(1), uint8(2))
+	f.Add(uint64(1), uint8(20), uint8(0), uint8(31))
+	f.Add(^uint64(0), uint8(200), uint8(31), uint8(31))
+	f.Fuzz(func(t *testing.T, patternBits uint64, merges, thr1, thr2 uint8) {
+		const length, bits = 64, 5
+		scalar := NewCounterTable(1, length, bits)
+		packed := NewPackedCounterTable(1, length, bits)
+		p := NewBitVector(length)
+		for o := 0; o < length; o++ {
+			if patternBits&(1<<uint(o)) != 0 {
+				p.Set(o)
+			}
+		}
+		p.Set(0) // patterns must be anchored
+		for i := 0; i < int(merges%64)+1; i++ {
+			if sh, ph := scalar.MergeRow(0, p), packed.MergeRow(0, p); sh != ph {
+				t.Fatalf("merge %d: halved: scalar %v, packed %v", i, sh, ph)
+			}
+		}
+		sg1, sg2 := scalar.CompareRow(0, uint32(thr1), uint32(thr2))
+		pg1, pg2 := packed.CompareRow(0, uint32(thr1), uint32(thr2))
+		if sg1 != pg1 || sg2 != pg2 {
+			t.Fatalf("CompareRow(%d, %d): scalar (%#x, %#x), packed (%#x, %#x)",
+				thr1, thr2, sg1, sg2, pg1, pg2)
+		}
+		for j := 0; j < length; j++ {
+			if s, pk := scalar.RowCounter(0, j), packed.RowCounter(0, j); s != pk {
+				t.Fatalf("counter %d: scalar %d, packed %d", j, s, pk)
+			}
+		}
+		if ss, ps := scalar.RowSum(0), packed.RowSum(0); ss != ps {
+			t.Fatalf("RowSum: scalar %d, packed %d", ss, ps)
+		}
+	})
+}
+
+func TestPackedPanicsMirrorScalar(t *testing.T) {
+	packed := NewPackedCounterTable(1, 8, 4)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	short := NewBitVector(4)
+	short.Set(0)
+	mustPanic("length mismatch", func() { packed.MergeRow(0, short) })
+	unanchored := NewBitVector(8)
+	unanchored.Set(3)
+	mustPanic("unanchored", func() { packed.MergeRow(0, unanchored) })
+	mustPanic("bits too wide", func() { NewPackedCounterTable(1, 8, MaxPackedBits+1) })
+	mustPanic("counter index", func() { packed.RowCounter(0, 8) })
+}
+
+func TestNewPatternTableSelectsPacked(t *testing.T) {
+	if _, ok := NewPatternTable(4, 64, 5).(*PackedCounterTable); !ok {
+		t.Error("5-bit counters should select the packed table")
+	}
+	if _, ok := NewPatternTable(4, 64, MaxPackedBits+1).(*CounterTable); !ok {
+		t.Error("overwide counters should fall back to the scalar table")
+	}
+}
+
+// --- micro-benchmarks: scalar vs packed hot operations ---
+
+func benchPatterns(length int) []BitVector {
+	rng := rand.New(rand.NewSource(7))
+	ps := make([]BitVector, 64)
+	for i := range ps {
+		ps[i] = randomAnchored(rng, length)
+	}
+	return ps
+}
+
+func BenchmarkMergeRowScalar(b *testing.B) {
+	t := NewCounterTable(64, 64, 5)
+	ps := benchPatterns(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.MergeRow(i&63, ps[i&63])
+	}
+}
+
+func BenchmarkMergeRowPacked(b *testing.B) {
+	t := NewPackedCounterTable(64, 64, 5)
+	ps := benchPatterns(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.MergeRow(i&63, ps[i&63])
+	}
+}
+
+func BenchmarkHalveRowScalar(b *testing.B) {
+	t := NewCounterTable(64, 64, 5)
+	ps := benchPatterns(64)
+	for i := 0; i < 64; i++ {
+		t.MergeRowNoHalve(i, ps[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.HalveRow(i & 63)
+	}
+}
+
+func BenchmarkHalveRowPacked(b *testing.B) {
+	t := NewPackedCounterTable(64, 64, 5)
+	ps := benchPatterns(64)
+	for i := 0; i < 64; i++ {
+		t.MergeRowNoHalve(i, ps[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.HalveRow(i & 63)
+	}
+}
+
+func BenchmarkCompareRowScalar(b *testing.B) {
+	t := NewCounterTable(64, 64, 5)
+	ps := benchPatterns(64)
+	for i := 0; i < 256; i++ {
+		t.MergeRow(i&63, ps[i&63])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		g1, g2 := t.CompareRow(i&63, 3, 1)
+		sink += g1 ^ g2
+	}
+	benchSink = sink
+}
+
+func BenchmarkCompareRowPacked(b *testing.B) {
+	t := NewPackedCounterTable(64, 64, 5)
+	ps := benchPatterns(64)
+	for i := 0; i < 256; i++ {
+		t.MergeRow(i&63, ps[i&63])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		g1, g2 := t.CompareRow(i&63, 3, 1)
+		sink += g1 ^ g2
+	}
+	benchSink = sink
+}
+
+var benchSink uint64

@@ -1,0 +1,116 @@
+package mem
+
+// PatternTable is the row-oriented contract PMP's pattern tables are
+// accessed through: merge an anchored pattern into a row, read the
+// row's time counter or counter sum, and compare every counter of a row
+// against integer thresholds in one pass. Two implementations exist —
+// the scalar CounterTable (one uint32 per counter, reference semantics)
+// and the bit-parallel PackedCounterTable (64/bits counters per word,
+// SWAR operations) — and they are required to be bit-identical for the
+// same operation stream; the differential fuzz tests enforce it.
+type PatternTable interface {
+	// Entries returns the number of rows.
+	Entries() int
+	// RowLen returns the number of counters per row.
+	RowLen() int
+	// Bits returns the per-counter width in bits.
+	Bits() int
+	// MaxCounter returns the saturation ceiling, (1<<Bits)-1.
+	MaxCounter() uint32
+
+	// MergeRow accumulates an anchored pattern into row i (saturating
+	// increment of every selected counter) and halves the whole row when
+	// the time counter saturates, reporting whether it did.
+	MergeRow(i int, p BitVector) (halved bool)
+	// MergeRowNoHalve accumulates like MergeRow but freezes counters at
+	// their ceiling instead of halving (the aging ablation).
+	MergeRowNoHalve(i int, p BitVector)
+	// HalveRow divides every counter of row i by two (floor).
+	HalveRow(i int)
+
+	// RowTime returns row i's time counter (counter 0).
+	RowTime(i int) uint32
+	// RowSum returns the sum of row i's counters excluding the trigger
+	// counter (ARE extraction).
+	RowSum(i int) uint64
+	// RowCounter returns counter j of row i.
+	RowCounter(i, j int) uint32
+	// CompareRow returns offset masks of row i's counters clearing each
+	// threshold (counter >= thr, bit j set for counter j). Thresholds
+	// above MaxCounter yield empty masks.
+	CompareRow(i int, thr1, thr2 uint32) (ge1, ge2 uint64)
+
+	// Reset zeroes every counter in the table.
+	Reset()
+	// StorageBits returns the hardware cost of the table in bits.
+	StorageBits() int
+}
+
+// NewPatternTable returns the fastest PatternTable for the geometry:
+// the bit-parallel packed table whenever the counter width packs at
+// least four lanes to a word (bits <= MaxPackedBits, every valid PMP
+// configuration), the scalar table otherwise.
+func NewPatternTable(entries, length, bits int) PatternTable {
+	if bits <= MaxPackedBits {
+		return NewPackedCounterTable(entries, length, bits)
+	}
+	return NewCounterTable(entries, length, bits)
+}
+
+// The scalar CounterTable implements PatternTable by delegating to its
+// CounterVector rows; it is the reference the packed implementation is
+// differentially fuzzed against.
+
+// RowLen implements PatternTable.
+func (t *CounterTable) RowLen() int { return t.rows[0].Len() }
+
+// Bits implements PatternTable.
+func (t *CounterTable) Bits() int { return t.bits }
+
+// MaxCounter implements PatternTable.
+func (t *CounterTable) MaxCounter() uint32 { return t.rows[0].Max() }
+
+// MergeRow implements PatternTable.
+//
+//pmp:hotpath
+func (t *CounterTable) MergeRow(i int, p BitVector) bool { return t.rows[i].Merge(p) }
+
+// MergeRowNoHalve implements PatternTable.
+//
+//pmp:hotpath
+func (t *CounterTable) MergeRowNoHalve(i int, p BitVector) { t.rows[i].MergeNoHalve(p) }
+
+// HalveRow implements PatternTable.
+//
+//pmp:hotpath
+func (t *CounterTable) HalveRow(i int) { t.rows[i].Halve() }
+
+// RowTime implements PatternTable.
+//
+//pmp:hotpath
+func (t *CounterTable) RowTime(i int) uint32 { return t.rows[i].Time() }
+
+// RowSum implements PatternTable.
+//
+//pmp:hotpath
+func (t *CounterTable) RowSum(i int) uint64 { return t.rows[i].Sum() }
+
+// RowCounter implements PatternTable.
+func (t *CounterTable) RowCounter(i, j int) uint32 { return t.rows[i].At(j) }
+
+// CompareRow implements PatternTable (scalar reference loop).
+//
+//pmp:hotpath
+func (t *CounterTable) CompareRow(i int, thr1, thr2 uint32) (ge1, ge2 uint64) {
+	cv := &t.rows[i]
+	for j := 0; j < cv.Len(); j++ {
+		c := cv.At(j)
+		if c >= thr1 {
+			ge1 |= 1 << uint(j)
+		}
+		if c >= thr2 {
+			ge2 |= 1 << uint(j)
+		}
+	}
+	return ge1, ge2
+}

@@ -1,0 +1,200 @@
+package prefetch
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmp/internal/mem"
+)
+
+// A non-positive capacity must yield a queue that accepts nothing
+// rather than panicking (regression: NewOutQueue(-1) used to panic
+// allocating the dedup map with a negative size hint).
+func TestOutQueueNonPositiveCapacity(t *testing.T) {
+	for _, c := range []int{0, -1, -100} {
+		q := NewOutQueue(c)
+		if q.Cap() != 0 || q.Len() != 0 {
+			t.Fatalf("NewOutQueue(%d): Cap=%d Len=%d, want 0,0", c, q.Cap(), q.Len())
+		}
+		if q.Push(Request{Addr: 64, Level: LevelL1}) {
+			t.Fatalf("NewOutQueue(%d) accepted a push", c)
+		}
+		if got := q.PopInto(nil, 4); len(got) != 0 {
+			t.Fatalf("NewOutQueue(%d) popped %d requests", c, len(got))
+		}
+		q.Reset() // must not panic either
+	}
+}
+
+// Capacities beyond the bitmap universe are clamped, not rejected.
+func TestOutQueueCapacityClamp(t *testing.T) {
+	q := NewOutQueue(mem.MaxHierBitmap + 1000)
+	if q.Cap() != mem.MaxHierBitmap {
+		t.Fatalf("Cap = %d, want clamp to %d", q.Cap(), mem.MaxHierBitmap)
+	}
+}
+
+// PopInto must drain strictly by priority class (0 = most urgent
+// first), FIFO within each class, regardless of push order.
+func TestOutQueuePriorityDrainOrder(t *testing.T) {
+	q := NewOutQueue(16)
+	push := func(addr mem.Addr, pri int) {
+		t.Helper()
+		if !q.PushPri(Request{Addr: addr, Level: LevelL1}, pri) {
+			t.Fatalf("push addr %#x pri %d rejected", addr, pri)
+		}
+	}
+	// Interleave classes; addresses encode (class, sequence).
+	push(0x2_0040, 2)
+	push(0x0_0040, 0)
+	push(0x1_0040, 1)
+	push(0x2_0080, 2)
+	push(0x0_0080, 0)
+	push(0x1_0080, 1)
+	got := q.PopInto(nil, 16)
+	want := []mem.Addr{0x0_0040, 0x0_0080, 0x1_0040, 0x1_0080, 0x2_0040, 0x2_0080}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d requests, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Addr != want[i] {
+			t.Fatalf("drain[%d] = %#x, want %#x (full: %+v)", i, r.Addr, want[i], got)
+		}
+	}
+}
+
+// A request pushed into a higher-urgency class after lower-urgency
+// entries are queued still jumps the line.
+func TestOutQueueUrgentJumpsQueue(t *testing.T) {
+	q := NewOutQueue(8)
+	for i := 0; i < 4; i++ {
+		q.PushPri(Request{Addr: mem.Addr(0x10000 + i*64), Level: LevelL2}, 5)
+	}
+	q.PushPri(Request{Addr: 0x20000, Level: LevelL1}, 0)
+	got := q.PopInto(nil, 1)
+	if len(got) != 1 || got[0].Addr != 0x20000 {
+		t.Fatalf("first pop = %+v, want the urgent 0x20000", got)
+	}
+}
+
+// Push (the FIFO-compatible entry point) and PushPri class 0 are the
+// same thing: plain Push drains in strict arrival order.
+func TestOutQueuePushIsFIFO(t *testing.T) {
+	q := NewOutQueue(64)
+	rng := rand.New(rand.NewSource(9))
+	var want []mem.Addr
+	for i := 0; i < 64; i++ {
+		a := mem.Addr(rng.Intn(1<<20) * 64)
+		if q.Push(Request{Addr: a, Level: LevelL1}) {
+			want = append(want, a)
+		}
+	}
+	got := q.PopInto(nil, 64)
+	if len(got) != len(want) {
+		t.Fatalf("drained %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Addr != want[i] {
+			t.Fatalf("FIFO order broken at %d: got %#x, want %#x", i, got[i].Addr, want[i])
+		}
+	}
+}
+
+// The region bitmap must suppress duplicate lines while distinct lines
+// in the same 4KB region coexist, and a drained line must become
+// pushable again.
+func TestOutQueueRegionDedup(t *testing.T) {
+	q := NewOutQueue(8)
+	if !q.Push(Request{Addr: 0x1000, Level: LevelL1}) {
+		t.Fatal("first push rejected")
+	}
+	if q.Push(Request{Addr: 0x1000, Level: LevelL2}) {
+		t.Fatal("duplicate line accepted")
+	}
+	if !q.Push(Request{Addr: 0x1040, Level: LevelL1}) {
+		t.Fatal("distinct line in same region rejected")
+	}
+	if got := q.PopInto(nil, 1); len(got) != 1 || got[0].Addr != 0x1000 {
+		t.Fatalf("pop = %+v", got)
+	}
+	if !q.Push(Request{Addr: 0x1000, Level: LevelL1}) {
+		t.Fatal("drained line still counted as duplicate")
+	}
+}
+
+// Mixed-priority churn against a reference model: a map of per-class
+// FIFO slices must always agree with the bitmap queue's drain.
+func TestOutQueueVsReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	q := NewOutQueue(32)
+	type entry struct {
+		addr mem.Addr
+		pri  int
+	}
+	var model []entry
+	inModel := func(a mem.Addr) bool {
+		for _, e := range model {
+			if e.addr == a {
+				return true
+			}
+		}
+		return false
+	}
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(3) != 0 {
+			a := mem.Addr(rng.Intn(256) * 64)
+			pri := rng.Intn(4)
+			accepted := q.PushPri(Request{Addr: a, Level: LevelL1}, pri)
+			wantAccept := len(model) < 32 && !inModel(a)
+			if accepted != wantAccept {
+				t.Fatalf("step %d: push %#x pri %d accepted=%v, model wants %v",
+					step, a, pri, accepted, wantAccept)
+			}
+			if accepted {
+				model = append(model, entry{a, pri})
+			}
+		} else {
+			n := rng.Intn(4) + 1
+			got := q.PopInto(nil, n)
+			for _, r := range got {
+				// The model's next pop: lowest class, FIFO within it.
+				best := -1
+				for i, e := range model {
+					if best == -1 || e.pri < model[best].pri {
+						best = i
+					}
+				}
+				if best == -1 {
+					t.Fatalf("step %d: queue popped %#x, model empty", step, r.Addr)
+				}
+				if model[best].addr != r.Addr {
+					t.Fatalf("step %d: popped %#x, model wants %#x (pri %d)",
+						step, r.Addr, model[best].addr, model[best].pri)
+				}
+				model = append(model[:best], model[best+1:]...)
+			}
+			if len(got) > n {
+				t.Fatalf("step %d: PopInto(%d) returned %d", step, n, len(got))
+			}
+		}
+		if q.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model %d", step, q.Len(), len(model))
+		}
+	}
+}
+
+// PushPri clamps out-of-range priority classes instead of corrupting
+// the bitmap (class < 0 -> most urgent, >= 64 -> least urgent).
+func TestOutQueuePriorityClamp(t *testing.T) {
+	q := NewOutQueue(4)
+	if !q.PushPri(Request{Addr: 0x40, Level: LevelL1}, -5) {
+		t.Fatal("negative priority rejected")
+	}
+	if !q.PushPri(Request{Addr: 0x80, Level: LevelL1}, 1000) {
+		t.Fatal("huge priority rejected")
+	}
+	got := q.PopInto(nil, 2)
+	if len(got) != 2 || got[0].Addr != 0x40 || got[1].Addr != 0x80 {
+		t.Fatalf("clamped drain = %+v", got)
+	}
+}

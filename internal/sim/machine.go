@@ -625,33 +625,47 @@ func (c *Core) invalidateInner(idx int, line mem.Addr) {
 
 // --- prefetch issue ---
 
-// pqTracker bounds in-flight prefetches at one level.
+// pqTracker bounds in-flight prefetches at one level. minDone caches a
+// lower bound on the occupied entries' completion cycles so the common
+// probe — nothing has completed since the last one — answers without
+// scanning (the same trick as the MSHR file's prune fast path).
 type pqTracker struct {
-	done []uint64 // completion cycles of occupied entries
+	done    []uint64 // completion cycles of occupied entries
+	minDone uint64   // lower bound on min(done); ^0 when empty
 }
 
 func newPQTracker(capacity int) pqTracker {
-	return pqTracker{done: make([]uint64, 0, capacity)}
+	return pqTracker{done: make([]uint64, 0, capacity), minDone: ^uint64(0)}
 }
 
 // free reports whether an entry is available at `now`, pruning
 // completed entries.
+//
+//pmp:hotpath
 func (p *pqTracker) free(now uint64) bool {
+	if p.minDone > now {
+		return len(p.done) < cap(p.done)
+	}
 	live := p.done[:0]
+	minDone := ^uint64(0)
 	for _, d := range p.done {
 		if d > now {
 			live = append(live, d)
+			minDone = min(minDone, d)
 		}
 	}
 	p.done = live
+	p.minDone = minDone
 	return len(p.done) < cap(p.done)
 }
 
 // add records one in-flight prefetch. Gated by free(), so the append
 // never outgrows the capacity newPQTracker reserved.
-//
-//pmp:allocok bounded by preallocated capacity; add is only reached after free() reports len < cap
-func (p *pqTracker) add(done uint64) { p.done = append(p.done, done) }
+func (p *pqTracker) add(done uint64) {
+	//pmp:allocok bounded by preallocated capacity; add is only reached after free() reports len < cap
+	p.done = append(p.done, done)
+	p.minDone = min(p.minDone, done)
+}
 
 // prefetchRoom reports whether the cache can accept a prefetch without
 // consuming its demand-reserved MSHR.

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package trace
+
+import "os"
+
+// mmapSupported reports whether this build can serve trace files from
+// a memory mapping.
+const mmapSupported = false
+
+// mmapFile is the portable stub: no mapping, the FileSource uses its
+// io.ReaderAt window instead.
+func mmapFile(*os.File, int64) (data []byte, unmap func() error, ok bool) {
+	return nil, nil, false
+}

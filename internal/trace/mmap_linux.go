@@ -1,0 +1,30 @@
+//go:build linux
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can serve trace files from
+// a memory mapping.
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only and advises the kernel that
+// access will be sequential (aggressive read-ahead, early page
+// reclaim). It reports ok=false when the mapping fails — zero-length
+// files, exotic filesystems — and the caller falls back to windowed
+// reads.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, ok bool) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	// Advisory only: a failure costs read-ahead, not correctness.
+	_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+	return data, func() error { return syscall.Munmap(data) }, true
+}

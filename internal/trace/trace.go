@@ -192,12 +192,7 @@ func Read(r io.Reader) (*Trace, error) {
 			if _, err := io.ReadFull(br, rec[:]); err != nil {
 				return nil, fmt.Errorf("trace: reading record %d: %w", read, err)
 			}
-			chunk = append(chunk, Record{
-				PC:   binary.LittleEndian.Uint64(rec[0:]),
-				Addr: mem.Addr(binary.LittleEndian.Uint64(rec[8:])),
-				Gap:  binary.LittleEndian.Uint16(rec[16:]),
-				Dep:  DepKind(rec[18]),
-			})
+			chunk = append(chunk, decodeRecord(rec[:]))
 			read++
 		}
 		chunks = append(chunks, chunk)
