@@ -21,9 +21,14 @@
 // Usage:
 //
 //	pmpexperiments [-scale quick|default|full] [-exp ID[,ID...]] [-list]
-//	               [-store file.jsonl [-resume]] [-workers N]
-//	               [-job-timeout d] [-retries N] [-csv dir]
+//	               [-manifest traces.json] [-store file.jsonl [-resume]]
+//	               [-workers N] [-job-timeout d] [-retries N] [-csv dir]
 //	               [-remote coordinator:port]
+//
+// With -manifest the external-suite manifest's converted traces (see
+// docs/traces.md and `pmptrace convert`) register next to the
+// synthetic suite and the EXTW experiment — the full prefetcher
+// registry over those traces — joins the index.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"pmp/internal/prof"
 	"pmp/internal/sweep"
 	"pmp/internal/sweep/remote"
+	"pmp/internal/trace"
 )
 
 // experiment is one registry entry: an experiment ID, its description
@@ -51,8 +57,21 @@ type experiment struct {
 	run  func() *bench.Table
 }
 
-// registry returns the experiment index in DESIGN.md order.
-func registry(r *bench.Runner, scale bench.Scale) []experiment {
+// registry returns the experiment index in DESIGN.md order. ext is
+// the external trace set loaded from -manifest; when non-empty it
+// appends the EXTW experiment over those traces.
+func registry(r *bench.Runner, scale bench.Scale, ext []trace.Spec) []experiment {
+	index := experiments(r, scale)
+	if len(ext) > 0 {
+		index = append(index, experiment{
+			"EXTW", "extension: external workloads from -manifest",
+			func() *bench.Table { return bench.External(r.WithSpecs(ext)) },
+		})
+	}
+	return index
+}
+
+func experiments(r *bench.Runner, scale bench.Scale) []experiment {
 	return []experiment{
 		{"T1", "Table I: pattern collision/duplicate rates", func() *bench.Table { return bench.TableI(scale) }},
 		{"F2", "Fig 2: pattern frequency concentration", func() *bench.Table { return bench.Fig2(scale) }},
@@ -92,6 +111,7 @@ func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all); see -list")
 	listFlag := flag.Bool("list", false, "list experiment IDs and exit")
 	csvDir := flag.String("csv", "", "also write each experiment as <dir>/<ID>.csv")
+	manifestPath := flag.String("manifest", "", "external-suite manifest of converted traces (docs/traces.md); enables the EXTW experiment")
 	storePath := flag.String("store", "", "persist per-job results to this append-only JSONL store")
 	resumeFlag := flag.Bool("resume", false, "skip jobs already completed in -store (requires -store)")
 	remoteAddr := flag.String("remote", "", "submit jobs to a running pmpsweepd coordinator at this address")
@@ -123,10 +143,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	var extSpecs []trace.Spec
+	if *manifestPath != "" {
+		extSpecs, err = bench.LoadExternal(*manifestPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmpexperiments:", err)
+			os.Exit(1)
+		}
+	}
+
 	// The registry is built twice: once against a throwaway runner for
 	// -list and -exp validation (nothing simulates until a builder
 	// runs), and again below bound to the sweep-backed runner.
-	index := registry(bench.NewRunner(scale), scale)
+	index := registry(bench.NewRunner(scale), scale, extSpecs)
 	if *listFlag {
 		for _, e := range index {
 			fmt.Printf("%-5s %s\n", e.id, e.desc)
@@ -216,7 +245,7 @@ func main() {
 		sw = sweep.New(ctx, opts)
 		r = bench.NewRunnerWith(scale, sw)
 	}
-	index = registry(r, scale)
+	index = registry(r, scale, extSpecs)
 
 	var selected []experiment
 	for _, e := range index {

@@ -1,60 +1,84 @@
-// Command pmptrace generates synthetic workload traces and writes them
-// as .pmpt files, or inspects existing trace files.
+// Command pmptrace generates synthetic workload traces, converts
+// ChampSim/DPC instruction traces, and inspects trace files.
 //
 // Usage:
 //
 //	pmptrace -gen spec06.mcf-26 -records 1000000 -o mcf.pmpt
+//	pmptrace convert [-o out.pmpt] [-name N] [-skip N] [-limit N]
+//	                 [-family F] [-class C] [-verify] mcf.champsim.trace.xz
 //	pmptrace info [-verify] [-records] mcf.pmpt
-//	pmptrace -info mcf.pmpt          (legacy spelling of the above)
+//
+// The convert subcommand decodes a ChampSim/DPC-3 instruction trace
+// (optionally xz- or gzip-compressed; see docs/traces.md for the field
+// mapping) into a .pmpt load trace and prints the decode stats, the
+// output's SHA-256, and a ready-to-paste external-manifest snippet.
 //
 // The info subcommand prints the file header (name, version, record
 // count, size) and whether this platform serves it via mmap; -records
 // additionally decodes every record for the distribution summary, and
 // -verify round-trips the file through both the lazy FileSource and
-// the buffered Read path and byte-compares the two.
+// the buffered Read path and byte-compares the two. On a ChampSim
+// input (by naming convention, e.g. *.champsim.trace.xz) info prints
+// the instruction-stream summary instead.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"pmp/internal/trace"
+	"pmp/internal/trace/champsim"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "info" {
-		if err := infoCmd(os.Args[2:]); err != nil {
+	if len(os.Args) > 1 {
+		var err error
+		switch os.Args[1] {
+		case "info":
+			err = infoCmd(os.Args[2:])
+		case "convert":
+			err = convertCmd(os.Args[2:])
+		default:
+			err = legacyMain()
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "pmptrace:", err)
 			os.Exit(1)
 		}
 		return
 	}
+	flag.Usage()
+	os.Exit(2)
+}
 
+// legacyMain handles the flag-style spellings: -gen, and the
+// deprecated -info (now the info subcommand).
+func legacyMain() error {
 	gen := flag.String("gen", "", "suite trace name to generate (see pmpsim -list-traces)")
 	records := flag.Int("records", 1_000_000, "records to generate")
 	out := flag.String("o", "", "output file (required with -gen)")
-	info := flag.String("info", "", "print summary of an existing trace file (legacy; see the info subcommand)")
+	info := flag.String("info", "", "deprecated: use `pmptrace info <file>`")
 	flag.Parse()
 
 	switch {
 	case *info != "":
-		if err := printRecordSummary(*info); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		// One code path: the legacy flag re-enters the subcommand.
+		fmt.Fprintln(os.Stderr, "pmptrace: -info is deprecated; use `pmptrace info [-records] <file>`")
+		return infoCmd([]string{"-records", *info})
 	case *gen != "":
 		if *out == "" {
-			fmt.Fprintln(os.Stderr, "pmptrace: -gen requires -o")
-			os.Exit(2)
+			return fmt.Errorf("-gen requires -o")
 		}
-		if err := generate(*gen, *records, *out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		return generate(*gen, *records, *out)
 	default:
 		flag.Usage()
 		os.Exit(2)
+		return nil
 	}
 }
 
@@ -75,7 +99,99 @@ func generate(name string, records int, out string) error {
 		fmt.Printf("wrote %d records to %s\n", tr.Len(), out)
 		return nil
 	}
-	return fmt.Errorf("pmptrace: unknown trace %q", name)
+	return fmt.Errorf("unknown trace %q", name)
+}
+
+// convertCmd implements `pmptrace convert [flags] <champsim-trace>`.
+func convertCmd(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	out := fs.String("o", "", "output .pmpt path (default: input base name + .pmpt)")
+	name := fs.String("name", "", "trace name embedded in the output (default: derived from the input file)")
+	skip := fs.Int("skip", 0, "skip the first N load records (fast-forward past initialization)")
+	limit := fs.Int("limit", 0, "cap the converted records (0 = all)")
+	family := fs.String("family", "external", "manifest family for the printed snippet")
+	class := fs.String("class", "medium", "manifest MPKI class for the printed snippet (low|medium|high)")
+	verify := fs.Bool("verify", false, "re-read the output through the lazy and buffered decoders and compare")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("convert: expected exactly one ChampSim trace file, got %d args", fs.NArg())
+	}
+	in := fs.Arg(0)
+	if !champsim.IsTracePath(in) {
+		fmt.Fprintf(os.Stderr, "pmptrace: warning: %s does not follow ChampSim naming (*.champsim.trace[.xz|.gz]); decoding anyway\n", in)
+	}
+
+	if *name == "" {
+		*name = champsimBase(in)
+	}
+	if *out == "" {
+		*out = champsimBase(in) + ".pmpt"
+	}
+
+	tr, st, err := champsim.ConvertFile(in, champsim.ConvertOptions{Name: *name, Skip: *skip, Limit: *limit})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := trace.Write(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("converted %s -> %s\n", in, *out)
+	fmt.Printf("instructions   %d\n", st.Instructions)
+	fmt.Printf("loads          %d (%d load instructions)\n", st.Loads, st.LoadInstrs)
+	fmt.Printf("stores         %d\n", st.Stores)
+	fmt.Printf("branches       %d\n", st.Branches)
+	fmt.Printf("dep prev/chain %d / %d\n", st.DepPrev, st.DepChain)
+	if st.ClampedGaps > 0 {
+		fmt.Printf("clamped gaps   %d\n", st.ClampedGaps)
+	}
+	fmt.Printf("written        %d records (skip %d, limit %d)\n", tr.Len(), *skip, *limit)
+
+	if *verify {
+		if err := verifyFile(*out); err != nil {
+			return err
+		}
+		fmt.Println("verify         OK (lazy and buffered readers agree)")
+	}
+
+	sum, err := trace.FileSHA256(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sha256         %s\n", sum)
+	snippet, err := json.MarshalIndent(trace.ExternalSpec{
+		Name:    *name,
+		Family:  trace.Family(*family),
+		Class:   trace.MPKIClass(*class),
+		Path:    filepath.Base(*out),
+		SHA256:  sum,
+		Records: tr.Len(),
+	}, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("manifest entry (add to the \"traces\" list, path relative to the manifest):\n  %s\n", snippet)
+	return nil
+}
+
+// champsimBase strips the compression and ChampSim naming suffixes:
+// "dir/astar.champsim.trace.xz" -> "astar".
+func champsimBase(path string) string {
+	base := filepath.Base(path)
+	if champsim.ForPath(base) != nil {
+		base = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	base = strings.TrimSuffix(base, ".trace")
+	base = strings.TrimSuffix(base, ".champsim")
+	return base
 }
 
 // infoCmd implements `pmptrace info [-verify] [-records] <file>`.
@@ -88,6 +204,10 @@ func infoCmd(args []string) error {
 		return fmt.Errorf("info: expected exactly one trace file, got %d args", fs.NArg())
 	}
 	path := fs.Arg(0)
+
+	if champsim.IsTracePath(path) {
+		return champsimInfo(path)
+	}
 
 	inf, err := trace.Stat(path)
 	if err != nil {
@@ -110,6 +230,33 @@ func infoCmd(args []string) error {
 		}
 		fmt.Println("verify         OK (lazy and buffered readers agree)")
 	}
+	return nil
+}
+
+// champsimInfo decodes a ChampSim instruction trace and prints the
+// stream summary (`pmptrace info` on a not-yet-converted input).
+func champsimInfo(path string) error {
+	rc, err := champsim.Open(path)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	d := champsim.NewDecoder(rc)
+	for {
+		if _, err := d.Next(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+	}
+	st := d.Stats()
+	fmt.Printf("format         ChampSim instruction trace (convert with `pmptrace convert`)\n")
+	fmt.Printf("instructions   %d\n", st.Instructions)
+	fmt.Printf("loads          %d (%d load instructions)\n", st.Loads, st.LoadInstrs)
+	fmt.Printf("stores         %d\n", st.Stores)
+	fmt.Printf("branches       %d\n", st.Branches)
+	fmt.Printf("dep prev/chain %d / %d\n", st.DepPrev, st.DepChain)
 	return nil
 }
 

@@ -406,6 +406,7 @@ func (r *Runner) runJobsRemote(name, attach string, cfg sim.Config) []sim.Result
 			Label:      name + "/" + sp.Name,
 			Prefetcher: name,
 			Trace:      sp.Name,
+			TraceFile:  sp.File,
 			Records:    r.Scale.Records,
 			Attach:     attach,
 			Config:     cfg,

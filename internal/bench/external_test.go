@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pmp/internal/sweep"
+	"pmp/internal/sweep/remote"
+	"pmp/internal/trace"
+)
+
+// externalManifest materializes two small converted-style .pmpt traces
+// plus a manifest listing them, and returns the loaded (registered)
+// specs.
+func externalManifest(t *testing.T, records int) []trace.Spec {
+	t.Helper()
+	dir := t.TempDir()
+	entries := make([]trace.ExternalSpec, 0, 2)
+	for i, name := range []string{"extbench-a", "extbench-b"} {
+		tr := trace.Collect(trace.NewStride(name, int64(100+i), records, trace.DefaultStrideParams()), 0)
+		path := filepath.Join(dir, name+".pmpt")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Write(f, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := trace.FileSHA256(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, trace.ExternalSpec{
+			Name: name, Family: "external", Class: trace.MediumMPKI,
+			Path: name + ".pmpt", SHA256: sum, Records: tr.Len(),
+		})
+	}
+	data, err := json.Marshal(trace.Manifest{Version: trace.ManifestVersion, Traces: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(dir, "traces.json")
+	if err := os.WriteFile(mpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := LoadExternal(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+// extScale keeps the external e2e runs fast and sized to the small
+// converted files.
+func extScale() Scale {
+	return Scale{Traces: 4, Records: 3_000, Warmup: 500, Measure: 2_000}
+}
+
+func TestRegisterExternalShadowsSuite(t *testing.T) {
+	name := trace.Suite()[0].Name
+	err := RegisterExternal([]trace.Spec{{Name: name}})
+	if err == nil {
+		t.Fatalf("registering external trace named %q (a suite trace) should fail", name)
+	}
+}
+
+func TestTraceByNameExternal(t *testing.T) {
+	specs := externalManifest(t, 200)
+	for _, sp := range specs {
+		got, ok := TraceByName(sp.Name)
+		if !ok {
+			t.Fatalf("TraceByName(%q) after LoadExternal: not found", sp.Name)
+		}
+		if got.File != sp.File {
+			t.Errorf("TraceByName(%q).File = %q, want %q", sp.Name, got.File, sp.File)
+		}
+	}
+	if _, ok := TraceByName("no-such-trace-xyz"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+// TestExternalExperiment runs the EXTW table over manifest traces on
+// the local pool: every registry prefetcher gets a row and the runs
+// complete against the file-backed sources.
+func TestExternalExperiment(t *testing.T) {
+	specs := externalManifest(t, 3_000)
+	r := NewRunner(extScale()).WithSpecs(specs)
+	tbl := External(r)
+	if tbl.ID != "EXTW" {
+		t.Errorf("table ID %q", tbl.ID)
+	}
+	want := len(EvalNames()) + len(RelatedNames())
+	if len(tbl.Rows) != want {
+		t.Fatalf("EXTW has %d rows, want %d", len(tbl.Rows), want)
+	}
+	for _, row := range tbl.Rows {
+		if row[1] == "" || row[1] == "0.000" {
+			t.Errorf("prefetcher %s: NIPC %q — external run produced no signal", row[0], row[1])
+		}
+	}
+}
+
+// TestExternalRemoteCanonicalIdentity is the distributed acceptance
+// path: the same external-trace job set through (a) a serial
+// store-backed local sweep and (b) an in-process coordinator + worker
+// (the worker reconstructing sources from the wire TraceFile via
+// BuildJobRun) must produce byte-identical canonical store dumps.
+func TestExternalRemoteCanonicalIdentity(t *testing.T) {
+	specs := externalManifest(t, 3_000)
+	scale := extScale()
+	cfg := scale.Config()
+
+	runSerial := func() []byte {
+		path := filepath.Join(t.TempDir(), "serial.jsonl")
+		store, err := sweep.OpenStore(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := sweep.New(context.Background(), sweep.Options{Workers: 1, Store: store})
+		r := NewRunnerWith(scale, sw).WithSpecs(specs)
+		r.Run(NamePMP, nil, cfg)
+		sw.Close()
+		store.Close()
+		var buf bytes.Buffer
+		if err := sweep.WriteCanonical(&buf, path); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	runRemote := func() []byte {
+		path := filepath.Join(t.TempDir(), "remote.jsonl")
+		store, err := sweep.OpenStore(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord := remote.NewCoordinator(remote.CoordinatorOptions{
+			Store:      store,
+			LeaseMax:   4,
+			DrainGrace: 50 * time.Millisecond,
+		})
+		srv := httptest.NewServer(coord.Handler())
+		defer srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+
+		workerDone := make(chan error, 1)
+		go func() {
+			workerDone <- remote.RunWorker(ctx, remote.WorkerOptions{
+				Coordinator:     srv.URL,
+				Name:            "ext-e2e",
+				Parallel:        2,
+				Build:           BuildJobRun,
+				Poll:            10 * time.Millisecond,
+				ExitWhenDrained: true,
+			})
+		}()
+
+		cl := remote.NewClient(srv.URL)
+		cl.Poll = 10 * time.Millisecond
+		r := NewRunnerRemote(ctx, scale, cl).WithSpecs(specs)
+		r.Run(NamePMP, nil, cfg)
+		if err := <-workerDone; err != nil && ctx.Err() == nil {
+			t.Fatalf("worker: %v", err)
+		}
+		store.Close()
+		var buf bytes.Buffer
+		if err := sweep.WriteCanonical(&buf, path); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := runSerial()
+	dist := runRemote()
+	if !bytes.Equal(serial, dist) {
+		t.Errorf("canonical dumps differ between serial and distributed external runs:\nserial:\n%s\ndistributed:\n%s",
+			serial, dist)
+	}
+}
+
+// TestBuildJobRunTraceFile checks the wire path in isolation: a job
+// spec carrying only a TraceFile (no registry entry) reconstructs and
+// runs.
+func TestBuildJobRunTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	tr := trace.Collect(trace.NewStream("wire-only", 9, 2_000, trace.DefaultStreamParams()), 0)
+	path := filepath.Join(dir, "wire-only.pmpt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	scale := extScale()
+	cfg := scale.Config()
+	run, err := BuildJobRun(remote.JobSpec{
+		ID:         "wire-test",
+		Prefetcher: NamePMP,
+		Trace:      "wire-only-unregistered",
+		TraceFile:  path,
+		Records:    scale.Records,
+		Config:     cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(context.Background())
+	if res.Instructions == 0 {
+		t.Error("wire-file job simulated nothing")
+	}
+
+	// And an unknown trace with no file is still an error.
+	if _, err := BuildJobRun(remote.JobSpec{Prefetcher: NamePMP, Trace: "nope"}); err == nil {
+		t.Error("unknown trace without trace_file should error")
+	}
+}

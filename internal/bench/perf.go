@@ -6,6 +6,9 @@ import (
 	"os"
 	"runtime"
 	"time"
+
+	"pmp/internal/sim"
+	"pmp/internal/trace"
 )
 
 // PerfResult measures simulator throughput for one prefetcher: how
@@ -53,18 +56,31 @@ func scaleName(s Scale) string {
 // the scale's trace subset. Runs are strictly serial — one simulation
 // at a time on one goroutine — so accesses/sec is comparable across
 // machines with different core counts, and mallocs attribute cleanly.
+//
+// Every trace is materialized up front, outside the timed regions, so
+// the numbers measure the simulator alone: trace generation is a
+// per-suite fixed cost (and for real workloads happens offline in
+// `pmptrace convert`), and charging it to the first prefetcher in the
+// lineup would skew cross-prefetcher comparison and hide simulator
+// regressions behind generator changes.
 func RunPerf(scale Scale, names []string) PerfReport {
 	cfg := scale.Config()
 	specs := scale.Specs()
-	report := PerfReport{Scale: scaleName(scale), Records: scale.Records}
+	traces := make([]*trace.Trace, len(specs))
+	for i, spec := range specs {
+		traces[i] = trace.Collect(spec.New(scale.Records), 0)
+	}
+	report := PerfReport{Scale: scaleName(scale), Records: scale.Records,
+		Notes: []string{"traces pre-materialized; timed region is the simulator only"}}
 	for _, name := range names {
 		var m0, m1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		var accesses uint64
-		for _, spec := range specs {
-			res := RunOne(spec, NewPrefetcher(name), scale, cfg)
+		for _, tr := range traces {
+			tr.Reset()
+			res := sim.NewSystem(cfg, NewPrefetcher(name)).Run(tr)
 			accesses += res.L1D.DemandAccesses
 		}
 		elapsed := time.Since(start)

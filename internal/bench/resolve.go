@@ -131,8 +131,17 @@ var (
 	suiteIndex map[string]trace.Spec
 )
 
-// TraceByName resolves a suite trace spec by name.
+// TraceByName resolves a trace spec by name: the synthetic suite
+// first, then any external traces registered via RegisterExternal.
 func TraceByName(name string) (trace.Spec, bool) {
+	if sp, ok := suiteTrace(name); ok {
+		return sp, true
+	}
+	return externalTrace(name)
+}
+
+// suiteTrace resolves a synthetic suite spec by name.
+func suiteTrace(name string) (trace.Spec, bool) {
 	suiteOnce.Do(func() {
 		suiteIndex = map[string]trace.Spec{}
 		for _, sp := range trace.Suite() {
@@ -149,9 +158,18 @@ func TraceByName(name string) (trace.Spec, bool) {
 // generator, same prefetcher construction, same config, so the worker
 // produces the byte-identical sim.Result a serial run would.
 func BuildJobRun(spec remote.JobSpec) (func(ctx context.Context) sim.Result, error) {
-	sp, ok := TraceByName(spec.Trace)
-	if !ok {
-		return nil, fmt.Errorf("bench: unknown trace spec %q", spec.Trace)
+	var sp trace.Spec
+	if spec.TraceFile != "" {
+		// External trace: the wire spec carries the .pmpt path, so the
+		// worker needs no manifest. The name still keys job identity, so
+		// it must match what the submitter registered.
+		sp = trace.FileSpec(trace.ExternalSpec{Name: spec.Trace, Path: spec.TraceFile})
+	} else {
+		var ok bool
+		sp, ok = TraceByName(spec.Trace)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown trace spec %q", spec.Trace)
+		}
 	}
 	mk, err := ResolveVariant(spec.Prefetcher)
 	if err != nil {

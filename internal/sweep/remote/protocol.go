@@ -51,8 +51,15 @@ type JobSpec struct {
 	// Prefetcher names the prefetcher construction: a registry name or
 	// an experiment variant name such as "pmp-tw8" or "designb-32w".
 	Prefetcher string `json:"prefetcher"`
-	// Trace is the suite trace spec name (trace.Suite).
+	// Trace is the suite trace spec name (trace.Suite), or the manifest
+	// name of an external trace when TraceFile is set.
 	Trace string `json:"trace"`
+	// TraceFile is the backing .pmpt path for external (manifest)
+	// traces: the worker opens the file directly instead of resolving
+	// Trace against a manifest it may not have. Empty for synthetic
+	// suite traces. The path must be readable where the worker runs
+	// (shared filesystem or same host).
+	TraceFile string `json:"trace_file,omitempty"`
 	// Records is the per-trace record count of the scale.
 	Records int `json:"records"`
 	// Attach selects where the prefetcher is attached: "" trains at

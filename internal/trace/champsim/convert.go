@@ -1,0 +1,67 @@
+package champsim
+
+import (
+	"fmt"
+	"io"
+
+	"pmp/internal/trace"
+)
+
+// ConvertOptions shapes a conversion.
+type ConvertOptions struct {
+	// Name is the trace name embedded in the .pmpt output.
+	Name string
+	// Skip drops the first Skip load records (fast-forward past
+	// initialization). Skipped loads still train the decoder's gap and
+	// dependency state, so the first kept record is identical to what a
+	// full conversion would hold at that position.
+	Skip int
+	// Limit caps the emitted records (<= 0: convert everything).
+	Limit int
+}
+
+// Convert decodes a ChampSim instruction stream into an in-memory
+// trace, applying Skip/Limit, and returns the decoder's stats. The
+// stats describe everything decoded, including skipped loads and the
+// instructions beyond Limit are not read.
+func Convert(r io.Reader, opts ConvertOptions) (*trace.Trace, Stats, error) {
+	d := NewDecoder(r)
+	var recs []trace.Record
+	skipped := 0
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, d.Stats(), err
+		}
+		if skipped < opts.Skip {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+		if opts.Limit > 0 && len(recs) >= opts.Limit {
+			break
+		}
+	}
+	if len(recs) == 0 {
+		return nil, d.Stats(), fmt.Errorf("champsim: no load records decoded (skip %d past a %d-load stream?)",
+			opts.Skip, d.Stats().Loads)
+	}
+	return trace.NewTrace(opts.Name, recs), d.Stats(), nil
+}
+
+// ConvertFile converts a (possibly xz/gzip-compressed) ChampSim trace
+// file. An empty opts.Name defaults to the file's base name.
+func ConvertFile(path string, opts ConvertOptions) (*trace.Trace, Stats, error) {
+	if opts.Name == "" {
+		opts.Name = path
+	}
+	rc, err := Open(path)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer rc.Close()
+	return Convert(rc, opts)
+}

@@ -1,0 +1,176 @@
+package champsim
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"pmp/internal/mem"
+	"pmp/internal/trace"
+)
+
+// ErrTruncated is returned when the stream ends inside an instruction
+// record (the file is not a multiple of InstrBytes).
+var ErrTruncated = errors.New("champsim: truncated instruction record")
+
+// Stats counts what the decoder saw. Loads is the number of emitted
+// trace records; everything else describes the instruction stream the
+// loads were filtered from.
+type Stats struct {
+	Instructions uint64 `json:"instructions"` // records decoded
+	Loads        uint64 `json:"loads"`        // trace records emitted
+	LoadInstrs   uint64 `json:"load_instrs"`  // instructions with >= 1 source memory operand
+	Stores       uint64 `json:"stores"`       // instructions with a destination memory operand
+	Branches     uint64 `json:"branches"`
+	NoMem        uint64 `json:"no_mem"`       // instructions with no memory operand at all
+	DepPrev      uint64 `json:"dep_prev"`     // loads classified DepPrev
+	DepChain     uint64 `json:"dep_chain"`    // loads classified DepChain
+	ClampedGaps  uint64 `json:"clamped_gaps"` // gaps clamped to the Gap field's 65535 ceiling
+}
+
+// regWriter records, per architectural register, the instruction that
+// last wrote it — everything Dep inference needs.
+type regWriter struct {
+	valid bool
+	load  bool   // the writer had a source memory operand
+	ip    uint64 // the writer's instruction pointer
+	seq   uint64 // 1 + index of the writer's last emitted load record
+}
+
+// Decoder streams trace.Records out of a ChampSim instruction stream.
+// It reads one 64-byte record at a time through a bufio.Reader, so
+// arbitrarily large (decompressing) inputs decode in O(1) memory.
+type Decoder struct {
+	br    *bufio.Reader
+	buf   [InstrBytes]byte
+	stats Stats
+
+	gapRun  uint64                  // instructions since the last load record
+	writers [256]regWriter          // register -> last writer
+	pend    [NumSrcMem]trace.Record // decoded loads not yet handed out
+	npend   int
+	pendAt  int
+}
+
+// NewDecoder wraps r. The reader should already be decompressed; use
+// Open to get one straight from an (optionally .xz/.gz) file path.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Stats returns the running tallies (final once Next returned io.EOF).
+func (d *Decoder) Stats() Stats { return d.stats }
+
+// Next returns the next L1D load record. It returns io.EOF at a clean
+// end of stream and ErrTruncated when the stream ends mid-record.
+func (d *Decoder) Next() (trace.Record, error) {
+	for {
+		if d.pendAt < d.npend {
+			r := d.pend[d.pendAt]
+			d.pendAt++
+			return r, nil
+		}
+		if _, err := io.ReadFull(d.br, d.buf[:]); err != nil {
+			if err == io.EOF {
+				return trace.Record{}, io.EOF
+			}
+			if err == io.ErrUnexpectedEOF {
+				return trace.Record{}, fmt.Errorf("%w (instruction %d)", ErrTruncated, d.stats.Instructions)
+			}
+			return trace.Record{}, err
+		}
+		d.decode(decodeInstr(d.buf[:]))
+	}
+}
+
+// decode consumes one instruction, refilling the pending record queue
+// when it carries load operands.
+func (d *Decoder) decode(in Instr) {
+	d.stats.Instructions++
+	if in.IsBranch {
+		d.stats.Branches++
+	}
+	hasStore := false
+	for _, a := range in.DestMem {
+		if a != 0 {
+			hasStore = true
+			break
+		}
+	}
+	if hasStore {
+		d.stats.Stores++
+	}
+
+	d.npend, d.pendAt = 0, 0
+	for _, a := range in.SrcMem {
+		if a == 0 || d.npend >= len(d.pend) {
+			continue
+		}
+		d.pend[d.npend] = trace.Record{PC: in.IP, Addr: mem.Addr(a)}
+		d.npend++
+	}
+	if d.npend == 0 {
+		if !hasStore && !in.IsBranch {
+			d.stats.NoMem++
+		}
+		d.updateWriters(in, false)
+		d.gapRun++
+		return
+	}
+	d.stats.LoadInstrs++
+
+	// Dep: does a source register carry another load's result?
+	dep := trace.DepNone
+	for _, reg := range in.SrcRegs {
+		if reg == 0 {
+			continue
+		}
+		w := d.writers[reg]
+		if !w.valid || !w.load {
+			continue
+		}
+		if w.ip == in.IP {
+			dep = trace.DepChain
+			break // chain wins: the same static load feeds itself
+		}
+		if w.seq == d.stats.Loads {
+			dep = trace.DepPrev
+		}
+	}
+
+	gap := d.gapRun
+	if gap > math.MaxUint16 {
+		gap = math.MaxUint16
+		d.stats.ClampedGaps++
+	}
+	for i := 0; i < d.npend; i++ {
+		d.pend[i].Dep = dep
+		if i == 0 {
+			d.pend[i].Gap = uint16(gap)
+		}
+	}
+	d.stats.Loads += uint64(d.npend)
+	switch dep {
+	case trace.DepPrev:
+		d.stats.DepPrev += uint64(d.npend)
+	case trace.DepChain:
+		d.stats.DepChain += uint64(d.npend)
+	}
+	d.updateWriters(in, true)
+	d.gapRun = 0
+}
+
+// updateWriters records this instruction as the last writer of its
+// destination registers. For loads it runs after stats.Loads has been
+// advanced, so seq (1 + index of the writer's last emitted record)
+// equals the post-increment count.
+func (d *Decoder) updateWriters(in Instr, isLoad bool) {
+	for _, reg := range in.DestRegs {
+		if reg == 0 {
+			continue
+		}
+		d.writers[reg] = regWriter{valid: true, load: isLoad, ip: in.IP, seq: d.stats.Loads}
+	}
+}

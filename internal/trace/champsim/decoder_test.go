@@ -1,0 +1,205 @@
+package champsim
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"pmp/internal/trace"
+)
+
+// decodeAll drains a decoder built over the raw instruction bytes.
+func decodeAll(t *testing.T, raw []byte) ([]trace.Record, Stats) {
+	t.Helper()
+	d := NewDecoder(bytes.NewReader(raw))
+	var recs []trace.Record
+	for {
+		r, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, d.Stats()
+}
+
+// TestDecodeFidelity hand-builds a golden binary and checks every
+// emitted record field-for-field: the PC/address mapping, gap
+// accounting across non-load instructions, multi-operand expansion,
+// and the register def-use Dep inference.
+func TestDecodeFidelity(t *testing.T) {
+	var raw []byte
+	// i0: plain load, addr from a never-written register -> DepNone.
+	raw = AppendInstr(raw, Instr{IP: 0x1000, SrcRegs: [NumSrcRegs]uint8{4}, DestRegs: [NumDestRegs]uint8{7},
+		SrcMem: [NumSrcMem]uint64{0xAAA0}})
+	// i1, i2: two non-load fillers (an ALU op writing reg 4 and a branch).
+	raw = AppendInstr(raw, Instr{IP: 0x1008, SrcRegs: [NumSrcRegs]uint8{4}, DestRegs: [NumDestRegs]uint8{4}})
+	raw = AppendInstr(raw, Instr{IP: 0x1010, IsBranch: true, BranchTaken: true})
+	// i3: load reading reg 7 (written by the immediately preceding load
+	// at a different PC) -> DepPrev; gap of 2.
+	raw = AppendInstr(raw, Instr{IP: 0x1018, SrcRegs: [NumSrcRegs]uint8{7}, DestRegs: [NumDestRegs]uint8{8},
+		SrcMem: [NumSrcMem]uint64{0xBBB0}})
+	// i4: store only — advances the gap, never emits.
+	raw = AppendInstr(raw, Instr{IP: 0x1020, SrcRegs: [NumSrcRegs]uint8{8}, DestMem: [NumDestMem]uint64{0xCCC0}})
+	// i5: self-feeding load (reads and writes reg 9)... first visit is
+	// DepNone (reg 9 never written), second visit is DepChain.
+	raw = AppendInstr(raw, Instr{IP: 0x1028, SrcRegs: [NumSrcRegs]uint8{9}, DestRegs: [NumDestRegs]uint8{9},
+		SrcMem: [NumSrcMem]uint64{0xDDD0}})
+	raw = AppendInstr(raw, Instr{IP: 0x1028, SrcRegs: [NumSrcRegs]uint8{9}, DestRegs: [NumDestRegs]uint8{9},
+		SrcMem: [NumSrcMem]uint64{0xDDE0}})
+	// i7: two source memory operands -> two records, second with Gap 0.
+	raw = AppendInstr(raw, Instr{IP: 0x1030, DestRegs: [NumDestRegs]uint8{11},
+		SrcMem: [NumSrcMem]uint64{0xEE00, 0, 0xEE40}})
+	// i8: load reading reg 4 — last written by the ALU op i1, not by a
+	// load -> DepNone even though a load once wrote it earlier (i0 wrote
+	// reg 7, not 4).
+	raw = AppendInstr(raw, Instr{IP: 0x1038, SrcRegs: [NumSrcRegs]uint8{4},
+		SrcMem: [NumSrcMem]uint64{0xFF00}})
+
+	want := []trace.Record{
+		{PC: 0x1000, Addr: 0xAAA0, Gap: 0, Dep: trace.DepNone},
+		{PC: 0x1018, Addr: 0xBBB0, Gap: 2, Dep: trace.DepPrev},
+		{PC: 0x1028, Addr: 0xDDD0, Gap: 1, Dep: trace.DepNone},
+		{PC: 0x1028, Addr: 0xDDE0, Gap: 0, Dep: trace.DepChain},
+		{PC: 0x1030, Addr: 0xEE00, Gap: 0, Dep: trace.DepNone},
+		{PC: 0x1030, Addr: 0xEE40, Gap: 0, Dep: trace.DepNone},
+		{PC: 0x1038, Addr: 0xFF00, Gap: 0, Dep: trace.DepNone},
+	}
+	got, st := decodeAll(t, raw)
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if st.Instructions != 9 || st.Loads != 7 || st.LoadInstrs != 6 {
+		t.Errorf("stats instructions/loads/loadinstrs = %d/%d/%d, want 9/7/6",
+			st.Instructions, st.Loads, st.LoadInstrs)
+	}
+	if st.Stores != 1 || st.Branches != 1 || st.NoMem != 1 {
+		t.Errorf("stats stores/branches/nomem = %d/%d/%d, want 1/1/1", st.Stores, st.Branches, st.NoMem)
+	}
+	if st.DepPrev != 1 || st.DepChain != 1 {
+		t.Errorf("stats depprev/depchain = %d/%d, want 1/1", st.DepPrev, st.DepChain)
+	}
+}
+
+// TestEncodeDecodeInstr round-trips every field through the 64-byte
+// wire form.
+func TestEncodeDecodeInstr(t *testing.T) {
+	in := Instr{
+		IP: 0xDEADBEEF00112233, IsBranch: true, BranchTaken: true,
+		DestRegs: [NumDestRegs]uint8{1, 255},
+		SrcRegs:  [NumSrcRegs]uint8{2, 3, 254, 9},
+		DestMem:  [NumDestMem]uint64{0x1111, 0x2222},
+		SrcMem:   [NumSrcMem]uint64{0x3333, 0x4444, 0x5555, 0x6666},
+	}
+	b := AppendInstr(nil, in)
+	if len(b) != InstrBytes {
+		t.Fatalf("encoded %d bytes, want %d", len(b), InstrBytes)
+	}
+	if got := decodeInstr(b); got != in {
+		t.Errorf("round trip: got %+v, want %+v", got, in)
+	}
+}
+
+// TestGapSaturation feeds 70000 filler instructions before a load: the
+// gap must clamp to 65535 and be counted.
+func TestGapSaturation(t *testing.T) {
+	var raw []byte
+	for i := 0; i < 70000; i++ {
+		raw = AppendInstr(raw, Instr{IP: 0x2000})
+	}
+	raw = AppendInstr(raw, Instr{IP: 0x2008, SrcMem: [NumSrcMem]uint64{0xAB00}})
+	got, st := decodeAll(t, raw)
+	if len(got) != 1 || got[0].Gap != math.MaxUint16 {
+		t.Fatalf("got %+v, want one record with saturated gap", got)
+	}
+	if st.ClampedGaps != 1 {
+		t.Errorf("ClampedGaps = %d, want 1", st.ClampedGaps)
+	}
+}
+
+// TestTruncated checks that a stream ending mid-record reports
+// ErrTruncated after yielding the complete prefix.
+func TestTruncated(t *testing.T) {
+	var raw []byte
+	raw = AppendInstr(raw, Instr{IP: 0x3000, SrcMem: [NumSrcMem]uint64{0x10}})
+	raw = AppendInstr(raw, Instr{IP: 0x3008, SrcMem: [NumSrcMem]uint64{0x20}})
+	raw = raw[:len(raw)-5]
+
+	d := NewDecoder(bytes.NewReader(raw))
+	if r, err := d.Next(); err != nil || r.Addr != 0x10 {
+		t.Fatalf("first record: %+v, %v", r, err)
+	}
+	if _, err := d.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated tail: got %v, want ErrTruncated", err)
+	} else if !bytes.Contains([]byte(err.Error()), []byte("truncated")) {
+		t.Errorf("error %q does not mention truncation", err)
+	}
+}
+
+// TestZeroMemInstructions: a stream with no memory operands decodes to
+// zero records and a clean EOF.
+func TestZeroMemInstructions(t *testing.T) {
+	var raw []byte
+	for i := 0; i < 5; i++ {
+		raw = AppendInstr(raw, Instr{IP: uint64(0x4000 + i*8), DestRegs: [NumDestRegs]uint8{3}})
+	}
+	got, st := decodeAll(t, raw)
+	if len(got) != 0 {
+		t.Fatalf("decoded %d records from a load-free stream", len(got))
+	}
+	if st.Instructions != 5 || st.NoMem != 5 {
+		t.Errorf("stats = %+v, want 5 instructions, 5 no-mem", st)
+	}
+}
+
+// TestConvertSkipLimit checks the Skip/Limit window and that skipped
+// records still train gap/dep state (the first kept record matches the
+// full conversion at that index).
+func TestConvertSkipLimit(t *testing.T) {
+	raw := EncodeFixture(GoldenFixture())
+	full, _, err := Convert(bytes.NewReader(raw), ConvertOptions{Name: "full"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, _, err := Convert(bytes.NewReader(raw), ConvertOptions{Name: "win", Skip: 30, Limit: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Len() != 20 {
+		t.Fatalf("windowed conversion has %d records, want 20", win.Len())
+	}
+	for i, r := range win.Records() {
+		if want := full.Records()[30+i]; r != want {
+			t.Errorf("window record %d: got %+v, want full[%d] %+v", i, r, 30+i, want)
+		}
+	}
+	if _, _, err := Convert(bytes.NewReader(raw), ConvertOptions{Skip: 1 << 20}); err == nil {
+		t.Error("skip past the whole stream should error, got nil")
+	}
+}
+
+// TestGoldenFixtureStats pins the committed fixture's aggregate shape:
+// exactly 100 loads with every dependency class and instruction kind
+// represented, so decoder changes that shift the mapping are caught
+// even before the byte-level golden tests.
+func TestGoldenFixtureStats(t *testing.T) {
+	_, st := decodeAll(t, EncodeFixture(GoldenFixture()))
+	if st.Loads != 100 {
+		t.Errorf("fixture decodes to %d loads, want exactly 100", st.Loads)
+	}
+	if st.DepChain == 0 || st.DepPrev == 0 {
+		t.Errorf("fixture must exercise both dep classes, got chain %d prev %d", st.DepChain, st.DepPrev)
+	}
+	if st.Stores == 0 || st.Branches == 0 || st.NoMem == 0 {
+		t.Errorf("fixture must contain stores/branches/no-mem fillers: %+v", st)
+	}
+}

@@ -1,0 +1,168 @@
+package champsim
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Decompressor turns a compressed stream into a plain one. The
+// registry below maps file extensions to implementations; Register
+// lets callers plug in additional codecs (zstd, bz2, ...) without this
+// package growing dependencies — the module stays stdlib-only by
+// design: gzip comes from compress/gzip and xz from exec'ing the host
+// `xz` binary, never from cgo or a third-party module in go.mod.
+type Decompressor interface {
+	// Name labels the codec in errors and stats.
+	Name() string
+	// Wrap returns a reader of the decompressed stream. Closing it must
+	// release codec resources but not the underlying reader.
+	Wrap(r io.Reader) (io.ReadCloser, error)
+}
+
+var (
+	decompressorsMu sync.RWMutex
+	decompressors   = map[string]Decompressor{
+		".gz": gzipDecompressor{},
+		".xz": xzDecompressor{},
+	}
+)
+
+// Register installs a Decompressor for a file extension (".zst"),
+// replacing any previous registration.
+func Register(ext string, d Decompressor) {
+	decompressorsMu.Lock()
+	defer decompressorsMu.Unlock()
+	decompressors[ext] = d
+}
+
+// ForPath returns the registered Decompressor for the path's final
+// extension, or nil when the path reads as a raw instruction stream.
+func ForPath(path string) Decompressor {
+	decompressorsMu.RLock()
+	defer decompressorsMu.RUnlock()
+	return decompressors[strings.ToLower(filepath.Ext(path))]
+}
+
+// IsTracePath reports whether the path looks like a ChampSim/DPC trace
+// by naming convention: a ".champsim" or ".trace" component, optionally
+// followed by a compression extension (the DPC-3 sets ship as
+// <bench>.champsim.trace.xz).
+func IsTracePath(path string) bool {
+	base := strings.ToLower(filepath.Base(path))
+	if ForPath(base) != nil {
+		base = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	return strings.HasSuffix(base, ".champsim") || strings.HasSuffix(base, ".trace")
+}
+
+// Open opens a (possibly compressed) ChampSim trace file and returns
+// the decompressed stream. Close releases both the codec and the file.
+func Open(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	d := ForPath(path)
+	if d == nil {
+		return f, nil
+	}
+	rc, err := d.Wrap(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("champsim: %s: %s: %w", d.Name(), path, err)
+	}
+	return &chainCloser{ReadCloser: rc, under: f}, nil
+}
+
+// chainCloser closes the codec first, then the underlying file.
+type chainCloser struct {
+	io.ReadCloser
+	under io.Closer
+}
+
+func (c *chainCloser) Close() error {
+	err := c.ReadCloser.Close()
+	if uerr := c.under.Close(); err == nil {
+		err = uerr
+	}
+	return err
+}
+
+// --- gzip (stdlib) ---
+
+type gzipDecompressor struct{}
+
+func (gzipDecompressor) Name() string { return "gzip" }
+
+func (gzipDecompressor) Wrap(r io.Reader) (io.ReadCloser, error) {
+	return gzip.NewReader(r)
+}
+
+// --- xz (host binary) ---
+
+// xzDecompressor shells out to `xz -dc` with the compressed stream on
+// stdin. The subprocess dies with Close (kill + wait), so abandoned
+// conversions do not leak decompressors.
+type xzDecompressor struct{}
+
+func (xzDecompressor) Name() string { return "xz" }
+
+func (xzDecompressor) Wrap(r io.Reader) (io.ReadCloser, error) {
+	if _, err := exec.LookPath("xz"); err != nil {
+		return nil, fmt.Errorf("xz binary not in PATH (install xz-utils, or Register a pure-Go codec): %w", err)
+	}
+	cmd := exec.Command("xz", "-q", "-dc")
+	cmd.Stdin = r
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &procReader{r: out, cmd: cmd}, nil
+}
+
+// procReader adapts a subprocess stdout into a ReadCloser whose Close
+// reaps the process. A non-zero exit surfaces as a read/close error so
+// corrupt archives fail loudly instead of truncating silently.
+type procReader struct {
+	r   io.ReadCloser
+	cmd *exec.Cmd
+}
+
+func (p *procReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	if err == io.EOF {
+		// Stream drained: the exit status decides clean EOF vs corrupt
+		// input. Wait is idempotent-guarded by nilling cmd.
+		if p.cmd != nil {
+			werr := p.cmd.Wait()
+			p.cmd = nil
+			if werr != nil {
+				return n, fmt.Errorf("champsim: xz: %w", werr)
+			}
+		}
+	}
+	return n, err
+}
+
+func (p *procReader) Close() error {
+	if p.cmd == nil {
+		// Already reaped at EOF; Wait closed the pipe for us.
+		p.r.Close()
+		return nil
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+	p.cmd = nil
+	p.r.Close()
+	return nil
+}

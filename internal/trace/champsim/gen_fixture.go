@@ -1,0 +1,43 @@
+//go:build ignore
+
+// Regenerates the committed golden ChampSim fixture from
+// GoldenFixture():
+//
+//	go run ./internal/trace/champsim/gen_fixture.go
+//
+// writes testdata/golden.champsim.trace (raw) and .gz (compressed, for
+// the decompressor leg of the round-trip tests and CI convert smoke).
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"log"
+	"os"
+	"path/filepath"
+
+	"pmp/internal/trace/champsim"
+)
+
+func main() {
+	raw := champsim.EncodeFixture(champsim.GoldenFixture())
+	dir := filepath.Join("internal", "trace", "champsim", "testdata")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "golden.champsim.trace"), raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	var gz bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&gz, gzip.BestCompression)
+	if _, err := zw.Write(raw); err != nil {
+		log.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "golden.champsim.trace.gz"), gz.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d instructions (%d bytes raw, %d bytes gz)", len(raw)/champsim.InstrBytes, len(raw), gz.Len())
+}

@@ -1,0 +1,79 @@
+package champsim
+
+// GoldenFixture returns the instruction sequence behind the committed
+// testdata/golden.champsim.trace fixture: a deterministic ~170
+// instruction stream that decodes to exactly 100 load records and
+// exercises every decoder behaviour — strided DepNone walks, a
+// DepChain pointer chase, DepPrev dependent pairs, a multi-operand
+// load, stores, branches, and no-memory filler. Tests compare the
+// committed bytes against this function (TestGoldenFixtureInSync), so
+// the binary fixture is reproducible from source; regenerate it with
+//
+//	go run ./internal/trace/champsim/gen_fixture.go
+//
+// after changing this function, and update the golden expectations.
+func GoldenFixture() []Instr {
+	var ins []Instr
+	add := func(in Instr) { ins = append(ins, in) }
+
+	// Phase 1 — strided array walk (20 loads, DepNone): the address
+	// register is written by an ALU add, so no load dependency.
+	for i := 0; i < 20; i++ {
+		add(Instr{IP: 0x400100, SrcRegs: [NumSrcRegs]uint8{2}, DestRegs: [NumDestRegs]uint8{3},
+			SrcMem: [NumSrcMem]uint64{0x1000_0000 + uint64(i)*192}})
+		add(Instr{IP: 0x400108, SrcRegs: [NumSrcRegs]uint8{2}, DestRegs: [NumDestRegs]uint8{2}})
+		add(Instr{IP: 0x400110, IsBranch: true, BranchTaken: i < 19, SrcRegs: [NumSrcRegs]uint8{2}})
+	}
+
+	// A store and a no-mem filler between phases.
+	add(Instr{IP: 0x400180, SrcRegs: [NumSrcRegs]uint8{3}, DestMem: [NumDestMem]uint64{0x2000_0040}})
+	add(Instr{IP: 0x400188})
+
+	// Phase 2 — pointer chase (25 loads, DepChain): the load reads and
+	// rewrites reg 5, so each iteration consumes the previous one's
+	// result from the same static instruction.
+	next := uint64(0x3000_0000)
+	for i := 0; i < 25; i++ {
+		add(Instr{IP: 0x400200, SrcRegs: [NumSrcRegs]uint8{5}, DestRegs: [NumDestRegs]uint8{5},
+			SrcMem: [NumSrcMem]uint64{next}})
+		add(Instr{IP: 0x400208, SrcRegs: [NumSrcRegs]uint8{5}, DestRegs: [NumDestRegs]uint8{6}})
+		next = 0x3000_0000 + (next*2654435761)%(1<<20)&^63
+	}
+
+	// Phase 3 — dependent pairs (40 loads, half DepPrev): load edge[i]
+	// into reg 7, then load rank[reg 7] — the second load's address
+	// comes from the immediately preceding load at a different PC.
+	for i := 0; i < 20; i++ {
+		add(Instr{IP: 0x400300, SrcRegs: [NumSrcRegs]uint8{2}, DestRegs: [NumDestRegs]uint8{7},
+			SrcMem: [NumSrcMem]uint64{0x4000_0000 + uint64(i)*8}})
+		add(Instr{IP: 0x400308, SrcRegs: [NumSrcRegs]uint8{7}, DestRegs: [NumDestRegs]uint8{8},
+			SrcMem: [NumSrcMem]uint64{0x5000_0000 + uint64(i*7919%4096)*64}})
+	}
+
+	// Phase 4 — multi-operand loads (4 loads): two instructions carrying
+	// two source memory operands each; the second operand's record gets
+	// Gap 0. Source registers are all zero — unused slots never infer
+	// dependencies.
+	add(Instr{IP: 0x400400, DestRegs: [NumDestRegs]uint8{9},
+		SrcMem: [NumSrcMem]uint64{0x6000_0000, 0x6000_0100}})
+	add(Instr{IP: 0x400400, DestRegs: [NumDestRegs]uint8{9},
+		SrcMem: [NumSrcMem]uint64{0x6000_0200, 0x6000_0300}})
+
+	// Phase 5 — plain stream with store traffic (11 loads): brings the
+	// total to exactly 100 records.
+	for i := 0; i < 11; i++ {
+		add(Instr{IP: 0x400500, SrcRegs: [NumSrcRegs]uint8{2}, DestRegs: [NumDestRegs]uint8{10},
+			SrcMem: [NumSrcMem]uint64{0x7000_0000 + uint64(i)*64}})
+		add(Instr{IP: 0x400508, SrcRegs: [NumSrcRegs]uint8{10}, DestMem: [NumDestMem]uint64{0x7100_0000 + uint64(i)*64}})
+	}
+	return ins
+}
+
+// EncodeFixture renders instrs to the on-disk byte stream.
+func EncodeFixture(instrs []Instr) []byte {
+	var out []byte
+	for _, in := range instrs {
+		out = AppendInstr(out, in)
+	}
+	return out
+}

@@ -30,6 +30,11 @@ type Spec struct {
 	Class  MPKIClass
 	// New constructs the generator with the given record count.
 	New func(length int) Source
+	// File is the backing .pmpt path for external (manifest) traces and
+	// empty for synthetic generators. It travels in distributed job
+	// specs so remote workers open the file directly instead of needing
+	// the manifest (see bench.BuildJobRun).
+	File string
 }
 
 // kind identifies a generator archetype inside a family.
