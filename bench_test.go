@@ -176,7 +176,7 @@ func BenchmarkFig12LLC(b *testing.B) {
 // BenchmarkFig13 regenerates Fig 13 (4-core mixes).
 func BenchmarkFig13(b *testing.B) {
 	scale := benchScale()
-	runTable(b, func() *bench.Table { return bench.Fig13(scale) })
+	runTable(b, func() *bench.Table { return bench.Fig13(bench.NewRunner(scale)) })
 }
 
 // --- Micro-benchmarks of the core machinery ---

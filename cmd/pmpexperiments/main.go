@@ -23,7 +23,7 @@
 //	pmpexperiments [-scale quick|default|full] [-exp ID[,ID...]] [-list]
 //	               [-manifest traces.json] [-store file.jsonl [-resume]]
 //	               [-workers N] [-job-timeout d] [-retries N] [-csv dir]
-//	               [-remote coordinator:port]
+//	               [-remote coordinator:port [-auth-token secret]]
 //
 // With -manifest the external-suite manifest's converted traces (see
 // docs/traces.md and `pmptrace convert`) register next to the
@@ -91,12 +91,16 @@ func experiments(r *bench.Runner, scale bench.Scale) []experiment {
 		{"T11", "Table XI: monitoring range sweep", func() *bench.Table { return bench.TableXI(r) }},
 		{"F12a", "Fig 12a: bandwidth sensitivity", func() *bench.Table { return bench.Fig12Bandwidth(r) }},
 		{"F12b", "Fig 12b: LLC size sensitivity", func() *bench.Table { return bench.Fig12LLC(r) }},
-		{"F13", "Fig 13: 4-core performance", func() *bench.Table { return bench.Fig13(scale) }},
+		{"F13", "Fig 13: 4-core performance", func() *bench.Table { return bench.Fig13(r) }},
 		{"ABL", "extension: PMP mechanism ablations", func() *bench.Table { return bench.Ablations(r) }},
 		{"REL", "extension: related-work prefetchers (§VI)", func() *bench.Table { return bench.Related(r) }},
 		{"PLC", "§V-B: PMP@L1 vs original Bingo@LLC placement", func() *bench.Table { return bench.Placement(r) }},
 		{"INC", "extension: inclusion policy and hierarchy depth", func() *bench.Table { return bench.Inclusion(r) }},
 		{"THR", "extension: AFE threshold sweep", func() *bench.Table { return bench.Thresholds(r) }},
+		{"HETS", "extension: heterogeneous stacking (PMP@L1D + Bingo deeper)", func() *bench.Table { return bench.HETS(r) }},
+		{"HETM", "extension: 8-core heterogeneous trace mixes", func() *bench.Table { return bench.HETM(r) }},
+		{"HETH", "extension: 2-/3-/4-level hierarchy depth", func() *bench.Table { return bench.HETH(r) }},
+		{"HETB", "extension: stacked prefetchers vs DRAM bandwidth", func() *bench.Table { return bench.HETB(r) }},
 	}
 }
 
@@ -115,6 +119,7 @@ func main() {
 	storePath := flag.String("store", "", "persist per-job results to this append-only JSONL store")
 	resumeFlag := flag.Bool("resume", false, "skip jobs already completed in -store (requires -store)")
 	remoteAddr := flag.String("remote", "", "submit jobs to a running pmpsweepd coordinator at this address")
+	authToken := flag.String("auth-token", "", "shared-secret bearer token for a -remote coordinator started with -auth-token")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	jobTimeout := flag.Duration("job-timeout", 30*time.Minute, "per-job attempt timeout (0 = none)")
 	retries := flag.Int("retries", 2, "attempts per job before quarantine")
@@ -175,6 +180,13 @@ func main() {
 			if id == "" {
 				continue
 			}
+			// "HET" selects the whole heterogeneous-hierarchy family.
+			if id == "HET" {
+				for _, h := range []string{"HETS", "HETM", "HETH", "HETB"} {
+					want[h] = true
+				}
+				continue
+			}
 			if !known[id] {
 				unknown = append(unknown, id)
 				continue
@@ -224,6 +236,7 @@ func main() {
 	var r *bench.Runner
 	if *remoteAddr != "" {
 		rc := remote.NewClient(*remoteAddr)
+		rc.Token = *authToken
 		if _, err := rc.Status(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "pmpexperiments: coordinator %s: %v\n", *remoteAddr, err)
 			os.Exit(1)

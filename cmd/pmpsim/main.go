@@ -15,16 +15,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pmp/internal/analysis"
 	"pmp/internal/bench"
+	"pmp/internal/prefetch"
 	"pmp/internal/prof"
 	"pmp/internal/sim"
 	"pmp/internal/trace"
 )
 
 func main() {
-	pfName := flag.String("pf", "pmp", "prefetcher: none, nextline, stride, dspatch, bingo, spp-ppf, pythia, pmp, pmp-limit")
+	pfName := flag.String("pf", "pmp", "prefetcher: a registry name (none, bingo, pmp, ...) or a variant grammar name (pmp-tw8, designb-32w, pmp-0.5-0.15, ...)")
 	traceName := flag.String("trace", "spec06.stream-0", "suite trace name (see -list-traces)")
 	file := flag.String("file", "", "trace file path (overrides -trace)")
 	records := flag.Int("records", 500_000, "records to generate for suite traces")
@@ -75,14 +77,14 @@ func main() {
 		}
 	}
 
-	pf, err := bench.TryNewPrefetcher(*pfName)
+	pf, err := buildVariant(*pfName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmpsim:", err)
 		os.Exit(2)
 	}
 	sys := sim.NewSystem(cfg, pf)
 	if *llcpf != "" {
-		lp, err := bench.TryNewPrefetcher(*llcpf)
+		lp, err := buildVariant(*llcpf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pmpsim:", err)
 			os.Exit(2)
@@ -110,6 +112,18 @@ func main() {
 			base.IPC(), res.IPC()/base.IPC(),
 			100*float64(res.DRAM.Requests)/float64(base.DRAM.Requests))
 	}
+}
+
+// buildVariant resolves a -pf/-llcpf value through the full variant
+// grammar — registry names plus parameterized experiment variants like
+// "pmp-tw8" or "designb-32w" — and constructs the prefetcher.
+func buildVariant(name string) (prefetch.Prefetcher, error) {
+	v, err := bench.ParseVariant(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w (known names: %s; plus variants like pmp-tw8, designb-32w, pmp-0.5-0.15)",
+			err, strings.Join(bench.Names(), ", "))
+	}
+	return bench.BuildVariant(v)
 }
 
 // lifecycleSink returns the lifecycle event sink (nil when no JSONL

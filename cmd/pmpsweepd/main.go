@@ -29,8 +29,10 @@
 //
 //	pmpsweepd -listen 127.0.0.1:7077 -store runs/merged.jsonl [-resume]
 //	          [-lease-ttl 60s] [-lease-max 16] [-retries 2] [-drain-grace 2s]
+//	          [-auth-token secret]
 //	pmpsweepd -worker -connect 127.0.0.1:7077 [-parallel N] [-name W]
 //	          [-job-timeout 30m] [-retries 2] [-exit-when-drained]
+//	          [-auth-token secret]
 //	pmpsweepd -canon runs/merged.jsonl
 package main
 
@@ -59,6 +61,7 @@ func main() {
 	leaseMax := flag.Int("lease-max", 16, "max jobs per lease batch")
 	retries := flag.Int("retries", 2, "coordinator: lease attempts before quarantine; worker: local attempts per job")
 	drainGrace := flag.Duration("drain-grace", 2*time.Second, "coordinator: quiet time after the last client contact before idle workers are told the run is over")
+	authToken := flag.String("auth-token", "", "shared-secret bearer token: coordinator requires it on every endpoint; worker sends it with every request")
 
 	workerMode := flag.Bool("worker", false, "run as a worker instead of the coordinator")
 	connect := flag.String("connect", "", "worker: coordinator address to connect to")
@@ -101,6 +104,7 @@ func main() {
 			Name:            *name,
 			Parallel:        *parallel,
 			Build:           bench.BuildJobRun,
+			Token:           *authToken,
 			MaxAttempts:     *retries,
 			JobTimeout:      *jobTimeout,
 			ExitWhenDrained: *exitWhenDrained,
@@ -131,6 +135,7 @@ func main() {
 			LeaseMax:    *leaseMax,
 			MaxAttempts: *retries,
 			DrainGrace:  *drainGrace,
+			AuthToken:   *authToken,
 			Addr:        ln.Addr().String(),
 			Logf:        eventLog,
 		})

@@ -29,6 +29,7 @@ import (
 	"pmp/internal/prefetchers/stride"
 	"pmp/internal/prefetchers/triage"
 	"pmp/internal/prefetchers/vldp"
+	"pmp/internal/runspec"
 	"pmp/internal/sim"
 	"pmp/internal/sweep"
 	"pmp/internal/sweep/remote"
@@ -182,8 +183,6 @@ func bingoOriginalConfig() bingo.Config {
 	c.PHTSets /= 2
 	return c
 }
-
-func bingoNew(c bingo.Config) prefetch.Prefetcher { return bingo.New(c) }
 
 // RunOne simulates one (trace, prefetcher) pair.
 func RunOne(spec trace.Spec, pf prefetch.Prefetcher, scale Scale, cfg sim.Config) sim.Result {
@@ -346,70 +345,88 @@ func NewRunnerRemote(ctx context.Context, scale Scale, rc *remote.Client) *Runne
 // Specs returns the runner's trace subset.
 func (r *Runner) Specs() []trace.Spec { return r.specs }
 
-// runJobs submits one job per suite trace and waits for all results
-// in spec order. The name must uniquely identify the prefetcher
-// construction (parameterized variants embed their parameters) since
-// it keys job identity together with the config fingerprint and
-// scale; identical jobs submitted by other experiments are simulated
-// only once. A quarantined job yields its zero Result so the suite —
-// and the rest of the sweep — keeps going; a canceled sweep unwinds
-// via a sweep.Interrupted panic, recovered at the experiment driver.
-func (r *Runner) runJobs(name string, cfg sim.Config, simulate func(trace.Spec) sim.Result) []sim.Result {
-	return r.runJobsAt(name, "", cfg, simulate)
+// specJob pairs a sweep job's identity name with its declarative run
+// spec. The name keys job identity together with the spec's trace key,
+// record count and config fingerprint — exactly the tuple legacy jobs
+// used — so identical jobs submitted by other experiments (or by
+// pre-spec store files) deduplicate against it.
+type specJob struct {
+	name string
+	run  runspec.RunSpec
 }
 
-// runJobsAt is runJobs with an explicit attach point ("" = innermost
-// level, "llc" = LLC-attached, as in the §V-B placement experiment).
-// The attach point travels in the wire spec so a remote worker
-// reconstructs the same system shape; the local path encodes it in
-// the simulate closure directly.
-func (r *Runner) runJobsAt(name, attach string, cfg sim.Config, simulate func(trace.Spec) sim.Result) []sim.Result {
-	if r.rc != nil {
-		return r.runJobsRemote(name, attach, cfg)
+// traceRef renders a trace spec as its wire reference.
+func traceRef(sp trace.Spec) runspec.TraceRef {
+	return runspec.TraceRef{Name: sp.Name, File: sp.File}
+}
+
+// recResults extracts a record's per-core results: the multicore
+// result set when present, else the single-core result (zero for a
+// quarantined job, so the suite — and the rest of the sweep — keeps
+// going).
+func recResults(rec sweep.Record) []sim.Result {
+	if len(rec.Results) > 0 {
+		return rec.Results
 	}
-	fp := cfg.Fingerprint()
-	tickets := make([]*sweep.Ticket, len(r.specs))
-	for i, sp := range r.specs {
-		sp := sp
+	return []sim.Result{rec.Result}
+}
+
+// runSpecs submits one sweep job per spec and waits for all results in
+// order, returning each job's per-core result set. Local runners build
+// executables through BuildRun and submit to the shared pool; remote
+// runners ship the specs themselves to the coordinator. A canceled
+// sweep unwinds via a sweep.Interrupted panic, recovered at the
+// experiment driver.
+func (r *Runner) runSpecs(jobs []specJob) [][]sim.Result {
+	if r.rc != nil {
+		return r.runSpecsRemote(jobs)
+	}
+	tickets := make([]*sweep.Ticket, len(jobs))
+	for i, j := range jobs {
+		key := j.run.TraceKey()
+		exec, err := BuildRun(j.run)
+		if err != nil {
+			// Local specs are experiment-constructed; an unbuildable one
+			// is a programming error, not a job failure.
+			panic(fmt.Sprintf("bench: build %s/%s: %v", j.name, key, err))
+		}
 		tickets[i] = r.sw.Submit(sweep.Job{
-			ID:         sweep.JobID(name, sp.Name, r.Scale.Records, fp),
-			Label:      name + "/" + sp.Name,
-			Prefetcher: name,
-			Trace:      sp.Name,
-			Run:        func(context.Context) sim.Result { return simulate(sp) },
+			ID:         sweep.JobID(j.name, key, j.run.Records, j.run.Config.Fingerprint()),
+			Label:      j.name + "/" + key,
+			Prefetcher: j.name,
+			Trace:      key,
+			Run:        exec.Run,
+			RunMulti:   exec.RunMulti,
 		})
 	}
-	res := make([]sim.Result, len(tickets))
+	out := make([][]sim.Result, len(tickets))
 	for i, t := range tickets {
 		rec, err := t.Wait()
 		if err != nil {
 			panic(sweep.Interrupted{Err: err})
 		}
-		res[i] = rec.Result
+		out[i] = recResults(rec)
 	}
-	return res
+	return out
 }
 
-// runJobsRemote submits the same job set as wire specs to the
+// runSpecsRemote submits the same job set as wire specs to the
 // coordinator and polls for the records. The coordinator deduplicates
 // by job ID exactly like the in-process sweep, so cross-experiment
 // sharing survives the network hop; submission and polling failures
 // unwind via sweep.Interrupted like a canceled local sweep.
-func (r *Runner) runJobsRemote(name, attach string, cfg sim.Config) []sim.Result {
-	fp := cfg.Fingerprint()
-	specs := make([]remote.JobSpec, len(r.specs))
-	ids := make([]string, len(r.specs))
-	for i, sp := range r.specs {
-		ids[i] = sweep.JobID(name, sp.Name, r.Scale.Records, fp)
+func (r *Runner) runSpecsRemote(jobs []specJob) [][]sim.Result {
+	specs := make([]remote.JobSpec, len(jobs))
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		key := j.run.TraceKey()
+		ids[i] = sweep.JobID(j.name, key, j.run.Records, j.run.Config.Fingerprint())
 		specs[i] = remote.JobSpec{
 			ID:         ids[i],
-			Label:      name + "/" + sp.Name,
-			Prefetcher: name,
-			Trace:      sp.Name,
-			TraceFile:  sp.File,
-			Records:    r.Scale.Records,
-			Attach:     attach,
-			Config:     cfg,
+			Label:      j.name + "/" + key,
+			Prefetcher: j.name,
+			Trace:      key,
+			Run:        j.run,
 		}
 	}
 	if _, err := r.rc.Submit(r.ctx, specs); err != nil {
@@ -419,9 +436,30 @@ func (r *Runner) runJobsRemote(name, attach string, cfg sim.Config) []sim.Result
 	if err != nil {
 		panic(sweep.Interrupted{Err: err})
 	}
-	res := make([]sim.Result, len(ids))
+	out := make([][]sim.Result, len(ids))
 	for i, id := range ids {
-		res[i] = recs[id].Result
+		out[i] = recResults(recs[id])
+	}
+	return out
+}
+
+// suiteRun simulates every suite trace on a single core with the
+// variant (plus optional per-level placements) under the given job
+// name, returning one result per trace.
+func (r *Runner) suiteRun(name string, v VariantSpec, placements []runspec.Placement, cfg sim.Config) []sim.Result {
+	jobs := make([]specJob, len(r.specs))
+	for i, sp := range r.specs {
+		jobs[i] = specJob{name: name, run: runspec.RunSpec{
+			Cores:      []runspec.CoreSpec{{Trace: traceRef(sp), Variant: v}},
+			Placements: placements,
+			Records:    r.Scale.Records,
+			Config:     cfg,
+		}}
+	}
+	sets := r.runSpecs(jobs)
+	res := make([]sim.Result, len(sets))
+	for i, s := range sets {
+		res[i] = s[0]
 	}
 	return res
 }
@@ -440,26 +478,39 @@ func (r *Runner) Baseline(cfg sim.Config) []sim.Result {
 	}
 	r.mu.Unlock()
 	b.once.Do(func() {
-		b.res = r.runJobs(NameNone, cfg, func(sp trace.Spec) sim.Result {
-			return RunOne(sp, prefetch.Nop{}, r.Scale, cfg)
-		})
+		b.res = r.suiteRun(NameNone, RegistryVariant(NameNone), nil, cfg)
 	})
 	return b.res
 }
 
 // Run simulates every suite trace with fresh instances of the named
-// prefetcher (or with mk when non-nil, for custom configurations).
-func (r *Runner) Run(name string, mk func() prefetch.Prefetcher, cfg sim.Config) SuiteResult {
-	if mk == nil {
-		mk = func() prefetch.Prefetcher { return NewPrefetcher(name) }
+// design. The name may be any grammar name — a registry entry or a
+// parameterized variant such as "pmp-tw8"; experiments with typed
+// configurations in hand use RunVariant instead.
+func (r *Runner) Run(name string, cfg sim.Config) SuiteResult {
+	v, err := ParseVariant(name)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
 	}
+	return r.RunVariant(v, cfg)
+}
+
+// RunVariant simulates every suite trace with the variant spec.
+func (r *Runner) RunVariant(v VariantSpec, cfg sim.Config) SuiteResult {
+	return r.RunPlaced(v.Name, v, nil, cfg)
+}
+
+// RunPlaced simulates every suite trace with the core variant plus
+// extra per-level prefetcher placements, under an explicit job name
+// (placements are part of the run, not of any single variant, so the
+// caller names the combination — e.g. the §V-B "bingo@llc" row runs a
+// "none" core with the original Bingo placed at the LLC).
+func (r *Runner) RunPlaced(name string, v VariantSpec, placements []runspec.Placement, cfg sim.Config) SuiteResult {
 	return SuiteResult{
 		Name:     name,
 		Specs:    r.specs,
 		Baseline: r.Baseline(cfg),
-		Results: r.runJobs(name, cfg, func(sp trace.Spec) sim.Result {
-			return RunOne(sp, mk(), r.Scale, cfg)
-		}),
+		Results:  r.suiteRun(name, v, placements, cfg),
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"strings"
 	"testing"
 
-	"pmp/internal/prefetch"
 	"pmp/internal/trace"
 )
 
@@ -66,7 +65,7 @@ func TestRunnerBaselineCached(t *testing.T) {
 func TestSuiteResultMetrics(t *testing.T) {
 	r := NewRunner(tinyScale())
 	cfg := r.Scale.Config()
-	res := r.Run(NamePMP, nil, cfg)
+	res := r.Run(NamePMP, cfg)
 	if len(res.Results) != len(r.Specs()) {
 		t.Fatalf("%d results for %d specs", len(res.Results), len(r.Specs()))
 	}
@@ -91,7 +90,7 @@ func TestSuiteResultMetrics(t *testing.T) {
 func TestNopSuiteIsUnity(t *testing.T) {
 	r := NewRunner(tinyScale())
 	cfg := r.Scale.Config()
-	res := r.Run(NameNone, func() prefetch.Prefetcher { return prefetch.Nop{} }, cfg)
+	res := r.Run(NameNone, cfg)
 	if nipc := res.NIPC(); nipc < 0.999 || nipc > 1.001 {
 		t.Errorf("baseline vs itself NIPC = %v, want 1", nipc)
 	}
@@ -152,7 +151,7 @@ func TestFig8ShapeHolds(t *testing.T) {
 	cfg := scale.Config()
 	nipc := map[string]float64{}
 	for _, name := range EvalNames() {
-		nipc[name] = r.Run(name, nil, cfg).NIPC()
+		nipc[name] = r.Run(name, cfg).NIPC()
 	}
 	// The reproduced headline shape: every prefetcher helps on average,
 	// DSPatch is clearly last among the five, and PMP lands in the top
@@ -186,7 +185,7 @@ func TestFig13Runs(t *testing.T) {
 		t.Skip("multicore experiment")
 	}
 	scale := Scale{Traces: 4, Records: 30_000, Warmup: 10_000, Measure: 40_000}
-	tb := Fig13(scale)
+	tb := Fig13(NewRunner(scale))
 	if len(tb.Rows) != len(EvalNames())+1 { // + PMP-Limit
 		t.Fatalf("Fig 13 rows = %d", len(tb.Rows))
 	}
@@ -200,7 +199,7 @@ func TestFig13Runs(t *testing.T) {
 func TestLevelStatsComputesCoverage(t *testing.T) {
 	r := NewRunner(tinyScale())
 	cfg := r.Scale.Config()
-	res := r.Run(NamePMP, nil, cfg)
+	res := r.Run(NamePMP, cfg)
 	cov, acc := levelStats(res)
 	// PMP must reduce misses somewhere and have sane accuracies.
 	if cov[1] <= 0 && cov[2] <= 0 && cov[3] <= 0 {
@@ -312,8 +311,8 @@ func TestBandwidthMonotonicity(t *testing.T) {
 		t.Skip("multiple simulations")
 	}
 	r := NewRunner(tinyScale())
-	low := r.Run(NamePMP, nil, r.Scale.Config().WithBandwidth(800)).NIPC()
-	high := r.Run(NamePMP, nil, r.Scale.Config().WithBandwidth(6400)).NIPC()
+	low := r.Run(NamePMP, r.Scale.Config().WithBandwidth(800)).NIPC()
+	high := r.Run(NamePMP, r.Scale.Config().WithBandwidth(6400)).NIPC()
 	if high <= low {
 		t.Errorf("PMP NIPC at 6400 MT/s (%.3f) should exceed 800 MT/s (%.3f)", high, low)
 	}

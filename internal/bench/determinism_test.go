@@ -28,8 +28,8 @@ func TestSuiteDeterministicAcrossWorkerCounts(t *testing.T) {
 	rn := NewRunnerWith(scale, parallel)
 
 	for _, name := range []string{NamePMP, NameStride} {
-		a := r1.Run(name, nil, cfg)
-		b := rn.Run(name, nil, cfg)
+		a := r1.Run(name, cfg)
+		b := rn.Run(name, cfg)
 		if !reflect.DeepEqual(a.Results, b.Results) {
 			t.Errorf("%s: results differ between 1 worker and %d workers", name, runtime.NumCPU())
 		}
@@ -53,7 +53,7 @@ func TestResumeMatchesFresh(t *testing.T) {
 		t.Fatal(err)
 	}
 	sw := sweep.New(context.Background(), sweep.Options{Store: st})
-	fresh := NewRunnerWith(scale, sw).Run(NamePMP, nil, cfg)
+	fresh := NewRunnerWith(scale, sw).Run(NamePMP, cfg)
 	m := sw.Close()
 	if m.Completed == 0 || m.Cached != 0 {
 		t.Fatalf("fresh run completed/cached = %d/%d", m.Completed, m.Cached)
@@ -64,7 +64,7 @@ func TestResumeMatchesFresh(t *testing.T) {
 		t.Fatal(err)
 	}
 	sw2 := sweep.New(context.Background(), sweep.Options{Store: st2})
-	resumed := NewRunnerWith(scale, sw2).Run(NamePMP, nil, cfg)
+	resumed := NewRunnerWith(scale, sw2).Run(NamePMP, cfg)
 	m2 := sw2.Close()
 
 	if m2.Completed != 0 {

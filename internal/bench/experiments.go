@@ -6,7 +6,7 @@ import (
 
 	"pmp/internal/analysis"
 	"pmp/internal/core"
-	"pmp/internal/prefetch"
+	"pmp/internal/runspec"
 	"pmp/internal/sim"
 	"pmp/internal/trace"
 )
@@ -192,7 +192,7 @@ func Fig8(r *Runner) *Table {
 		Header: []string{"Prefetcher", "spec06", "spec17", "ligra", "parsec", "ALL"},
 	}
 	for _, name := range EvalNames() {
-		res := r.Run(name, nil, cfg)
+		res := r.Run(name, cfg)
 		fams := res.NIPCByFamily()
 		row := []string{name}
 		for _, fam := range []trace.Family{trace.SPEC06, trace.SPEC17, trace.Ligra, trace.PARSEC} {
@@ -250,7 +250,7 @@ func Fig9(r *Runner) *Table {
 			"L1D acc", "L2C acc", "LLC acc"},
 	}
 	for _, name := range EvalNames() {
-		res := r.Run(name, nil, cfg)
+		res := r.Run(name, cfg)
 		cov, acc := levelStats(res)
 		t.AddRow(name,
 			pct(cov[1]), pct(cov[2]), pct(cov[3]),
@@ -275,7 +275,7 @@ func Fig10(r *Runner) *Table {
 			"LLC useful", "LLC useless"},
 	}
 	for _, name := range EvalNames() {
-		res := r.Run(name, nil, cfg)
+		res := r.Run(name, cfg)
 		n := float64(len(res.Results))
 		var u, x [4]float64
 		for _, p := range res.Results {
@@ -307,7 +307,7 @@ func NMT(r *Runner) *Table {
 	names := append(EvalNames(), NamePMPLimit)
 	issued := map[string]float64{}
 	for _, name := range names {
-		res := r.Run(name, nil, cfg)
+		res := r.Run(name, cfg)
 		var total float64
 		for _, rr := range res.Results {
 			total += float64(rr.PF.Total())
@@ -335,16 +335,11 @@ func TableVIII(r *Runner) *Table {
 		Title:  "Design B performance vs ways (paper Table VIII)",
 		Header: []string{"Design", "NIPC"},
 	}
-	for _, ways := range []int{8, 32, 128, 512} {
-		w := ways
-		res := sw.Run(fmt.Sprintf("designb-%dw", w), func() prefetch.Prefetcher {
-			c := core.DefaultDesignBConfig()
-			c.Ways = w
-			return core.NewDesignB(c)
-		}, cfg)
+	for _, ways := range designBWays {
+		res := sw.RunVariant(DesignBVariant(ways), cfg)
 		t.AddRow(res.Name, f3(res.NIPC()))
 	}
-	pmp := sw.Run(NamePMP, nil, cfg)
+	pmp := sw.Run(NamePMP, cfg)
 	t.AddRow("pmp (merging)", f3(pmp.NIPC()))
 	t.Notes = append(t.Notes,
 		"paper: Design B 1.176/1.188/1.215/1.224 for 8/32/128/512 ways; PMP outperforms 512-way by 34.9%")
@@ -360,14 +355,9 @@ func Extraction(r *Runner) *Table {
 		Title:  "Prefetch pattern extraction schemes (paper §V-E2)",
 		Header: []string{"Scheme", "NIPC"},
 	}
-	for _, sc := range []core.Scheme{core.AFE, core.ANE, core.ARE} {
-		scheme := sc
-		res := sw.Run("pmp-"+scheme.String(), func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			c.Scheme = scheme
-			return core.New(c)
-		}, cfg)
-		t.AddRow(scheme.String(), f3(res.NIPC()))
+	for _, sc := range pmpSchemes {
+		res := sw.RunVariant(schemeVariant(sc), cfg)
+		t.AddRow(sc.String(), f3(res.NIPC()))
 	}
 	t.Notes = append(t.Notes,
 		"paper: AFE +65.2% over baseline; ANE 2.9% below AFE; ARE far below (+5.0% only, stream patterns lost)")
@@ -384,17 +374,11 @@ func MultiFeature(r *Runner) *Table {
 		Title:  "Multi-feature prediction structures (paper §V-E3)",
 		Header: []string{"Structure", "NIPC", "storage"},
 	}
-	for _, fm := range []core.FeatureMode{core.DualTables, core.Combined, core.OPTOnly, core.PPTOnly} {
-		mode := fm
-		c := core.DefaultConfig()
-		c.Feature = mode
-		res := sw.Run("pmp-"+mode.String(), func() prefetch.Prefetcher {
-			cc := core.DefaultConfig()
-			cc.Feature = mode
-			return core.New(cc)
-		}, cfg)
+	for _, mode := range pmpFeatureModes {
+		v := featureVariant(mode)
+		res := sw.RunVariant(v, cfg)
 		t.AddRow(mode.String(), f3(res.NIPC()),
-			fmt.Sprintf("%.1f KB", c.Storage().TotalBytes()/1024))
+			fmt.Sprintf("%.1f KB", v.PMP.Storage().TotalBytes()/1024))
 	}
 	t.Notes = append(t.Notes,
 		"paper: combined -3.1%, single OPT -2.4%, single PPT -3.5% vs the dual structure")
@@ -410,17 +394,11 @@ func TableIX(r *Runner) *Table {
 		Title:  "Pattern length sweep (paper Table IX)",
 		Header: []string{"Length", "Region", "Overhead", "NIPC"},
 	}
-	for _, region := range []int{4096, 2048, 1024} {
-		reg := region
-		c := core.DefaultConfig()
-		c.RegionBytes = reg
-		res := sw.Run(fmt.Sprintf("pmp-%d", reg/64), func() prefetch.Prefetcher {
-			cc := core.DefaultConfig()
-			cc.RegionBytes = reg
-			return core.New(cc)
-		}, cfg)
+	for _, reg := range pmpRegionBytes {
+		v := regionVariant(reg)
+		res := sw.RunVariant(v, cfg)
 		t.AddRow(fmt.Sprint(reg/64), fmt.Sprintf("%dKB", reg/1024),
-			fmt.Sprintf("%.1f KB", c.Storage().TotalBytes()/1024), f3(res.NIPC()))
+			fmt.Sprintf("%.1f KB", v.PMP.Storage().TotalBytes()/1024), f3(res.NIPC()))
 	}
 	t.Notes = append(t.Notes, "paper: 1.652 / 1.626 / 1.572 for lengths 64/32/16 at 4.3/2.5/1.6 KB")
 	return t
@@ -435,17 +413,11 @@ func TableXOffsetWidth(r *Runner) *Table {
 		Title:  "Trigger offset width sweep (paper Table X left)",
 		Header: []string{"Width (b)", "NIPC", "OPT size"},
 	}
-	for _, bits := range []int{6, 7, 8, 9, 10, 11, 12} {
-		b := bits
-		c := core.DefaultConfig()
-		c.TriggerBits = b
-		res := sw.Run(fmt.Sprintf("pmp-tw%d", b), func() prefetch.Prefetcher {
-			cc := core.DefaultConfig()
-			cc.TriggerBits = b
-			return core.New(cc)
-		}, cfg)
+	for _, b := range pmpTriggerBits {
+		v := twVariant(b)
+		res := sw.RunVariant(v, cfg)
 		t.AddRow(fmt.Sprint(b), f3(res.NIPC()),
-			fmt.Sprintf("%.1f KB", float64(c.Storage().OPTBits)/8/1024))
+			fmt.Sprintf("%.1f KB", float64(v.PMP.Storage().OPTBits)/8/1024))
 	}
 	t.Notes = append(t.Notes,
 		"paper: 1.652 -> 1.658 from 6b to 12b while the OPT grows 64x; gain is negligible")
@@ -461,13 +433,8 @@ func TableXCounterSize(r *Runner) *Table {
 		Title:  "OPT counter size sweep (paper Table X right)",
 		Header: []string{"Counter (b)", "NIPC"},
 	}
-	for _, bits := range []int{2, 3, 4, 5, 6, 7, 8} {
-		b := bits
-		res := sw.Run(fmt.Sprintf("pmp-cs%d", b), func() prefetch.Prefetcher {
-			cc := core.DefaultConfig()
-			cc.OPTCounterBits = b
-			return core.New(cc)
-		}, cfg)
+	for _, b := range pmpCounterBits {
+		res := sw.RunVariant(csVariant(b), cfg)
 		t.AddRow(fmt.Sprint(b), f3(res.NIPC()))
 	}
 	t.Notes = append(t.Notes, "paper: monotone 1.624 -> 1.655 from 2b to 8b (longer history helps)")
@@ -483,17 +450,11 @@ func TableXI(r *Runner) *Table {
 		Title:  "Monitoring range sweep (paper Table XI)",
 		Header: []string{"Range", "NIPC", "PPT size"},
 	}
-	for _, m := range []int{1, 2, 4, 8} {
-		mr := m
-		c := core.DefaultConfig()
-		c.MonitoringRange = mr
-		res := sw.Run(fmt.Sprintf("pmp-mr%d", mr), func() prefetch.Prefetcher {
-			cc := core.DefaultConfig()
-			cc.MonitoringRange = mr
-			return core.New(cc)
-		}, cfg)
+	for _, mr := range pmpMonitorRanges {
+		v := mrVariant(mr)
+		res := sw.RunVariant(v, cfg)
 		t.AddRow(fmt.Sprint(mr), f3(res.NIPC()),
-			fmt.Sprintf("%d B", c.Storage().PPTBits/8))
+			fmt.Sprintf("%d B", v.PMP.Storage().PPTBits/8))
 	}
 	t.Notes = append(t.Notes, "paper: 1.650 / 1.652 / 1.630 / 1.615 for ranges 1/2/4/8")
 	return t
@@ -512,7 +473,7 @@ func Fig12Bandwidth(r *Runner) *Table {
 		row := []string{name}
 		for _, mtps := range rates {
 			cfg := sw.Scale.Config().WithBandwidth(mtps)
-			res := sw.Run(name, nil, cfg)
+			res := sw.Run(name, cfg)
 			row = append(row, f3(res.NIPC()))
 		}
 		t.AddRow(row...)
@@ -534,7 +495,7 @@ func Fig12LLC(r *Runner) *Table {
 		row := []string{name}
 		for _, mb := range []int{2, 4, 8} {
 			cfg := sw.Scale.Config().WithLLCMB(mb)
-			res := sw.Run(name, nil, cfg)
+			res := sw.Run(name, cfg)
 			row = append(row, f3(res.NIPC()))
 		}
 		t.AddRow(row...)
@@ -544,8 +505,46 @@ func Fig12LLC(r *Runner) *Table {
 	return t
 }
 
+// mixJob builds one multicore run spec: the traces cycled across n
+// cores, every core training a fresh instance of the variant, with
+// trace replay on (each trace wraps until every core's measurement
+// window completes).
+func mixJob(name string, v VariantSpec, specs []trace.Spec, n, records int, cfg sim.Config) specJob {
+	cores := make([]runspec.CoreSpec, n)
+	for i := range cores {
+		cores[i] = runspec.CoreSpec{Trace: traceRef(specs[i%len(specs)]), Variant: v}
+	}
+	return specJob{name: name, run: runspec.RunSpec{
+		Cores:   cores,
+		Records: records,
+		Config:  cfg,
+		Replay:  true,
+	}}
+}
+
+// coreNIPC returns the geomean per-core IPC ratio of one multicore run
+// against its same-mix baseline.
+func coreNIPC(pf, base []sim.Result) float64 {
+	var sum float64
+	n := 0
+	for i := range pf {
+		if b := base[i].IPC(); b > 0 {
+			sum += math.Log(pf[i].IPC() / b)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
 // Fig13 reproduces Fig 13: 4-core homogeneous and heterogeneous mixes.
-func Fig13(scale Scale) *Table {
+// Every mix is one multicore run spec through the runner's scheduler —
+// deduplicated, persisted and distributable exactly like the
+// single-core jobs.
+func Fig13(r *Runner) *Table {
+	scale := r.Scale
 	cfg := scale.Config()
 	cfg.DRAM.Channels = 2
 	if cfg.Measure == 0 {
@@ -587,48 +586,32 @@ func Fig13(scale Scale) *Table {
 		}
 	}
 
-	runMix := func(specs []trace.Spec, name string) []sim.Result {
-		pfs := make([]prefetch.Prefetcher, 4)
-		srcs := make([]trace.Source, 4)
-		for i := 0; i < 4; i++ {
-			pfs[i] = NewPrefetcher(name)
-			srcs[i] = specs[i%len(specs)].New(scale.Records)
+	// One job per mix per prefetcher: homogeneous mixes first, then the
+	// heterogeneous ones, so res[i] aligns with base[i].
+	jobsFor := func(name string) []specJob {
+		v := RegistryVariant(name)
+		jobs := make([]specJob, 0, len(homoSpecs)+len(mixes))
+		for _, sp := range homoSpecs {
+			jobs = append(jobs, mixJob(name, v, []trace.Spec{sp}, 4, scale.Records, cfg))
 		}
-		return sim.NewMulticore(cfg, pfs).Run(srcs)
-	}
-	nipc := func(pf, base []sim.Result) float64 {
-		var sum float64
-		n := 0
-		for i := range pf {
-			if b := base[i].IPC(); b > 0 {
-				sum += math.Log(pf[i].IPC() / b)
-				n++
-			}
+		for _, mix := range mixes {
+			jobs = append(jobs, mixJob(name, v, mix, 4, scale.Records, cfg))
 		}
-		if n == 0 {
-			return 0
-		}
-		return math.Exp(sum / float64(n))
+		return jobs
 	}
-
-	// Precompute baselines per mix.
-	var homoBase, heteroBase [][]sim.Result
-	for _, sp := range homoSpecs {
-		homoBase = append(homoBase, runMix([]trace.Spec{sp}, NameNone))
-	}
-	for _, mix := range mixes {
-		heteroBase = append(heteroBase, runMix(mix, NameNone))
-	}
+	base := r.runSpecs(jobsFor(NameNone))
 
 	names := append(EvalNames(), NamePMPLimit)
 	for _, name := range names {
+		res := r.runSpecs(jobsFor(name))
 		var hoSum, heSum float64
-		for i, sp := range homoSpecs {
-			hoSum += math.Log(nipc(runMix([]trace.Spec{sp}, name), homoBase[i]))
+		for i := range homoSpecs {
+			hoSum += math.Log(coreNIPC(res[i], base[i]))
 		}
 		ho := math.Exp(hoSum / float64(len(homoSpecs)))
-		for i, mix := range mixes {
-			heSum += math.Log(nipc(runMix(mix, name), heteroBase[i]))
+		for i := range mixes {
+			j := len(homoSpecs) + i
+			heSum += math.Log(coreNIPC(res[j], base[j]))
 		}
 		he := math.Exp(heSum / float64(len(mixes)))
 		all := math.Exp((hoSum + heSum) / float64(len(homoSpecs)+len(mixes)))
@@ -652,7 +635,7 @@ func Related(r *Runner) *Table {
 	}
 	names := append(RelatedNames(), NamePMP)
 	for _, name := range names {
-		res := r.Run(name, nil, cfg)
+		res := r.Run(name, cfg)
 		kb := float64(NewPrefetcher(name).StorageBits()) / 8 / 1024
 		t.AddRow(name, f3(res.NIPC()), pct(res.NMT()), fmt.Sprintf("%.1f KB", kb))
 	}
@@ -685,12 +668,16 @@ func All(scale Scale) []*Table {
 		TableXI(r),
 		Fig12Bandwidth(r),
 		Fig12LLC(r),
-		Fig13(scale),
+		Fig13(r),
 		Ablations(r),
 		Related(r),
 		Placement(r),
 		Inclusion(r),
 		Thresholds(r),
+		HETS(r),
+		HETM(r),
+		HETH(r),
+		HETB(r),
 	}
 }
 
@@ -706,24 +693,9 @@ func Ablations(r *Runner) *Table {
 		Title:  "PMP mechanism ablations (extension; not a paper artifact)",
 		Header: []string{"Variant", "NIPC", "NMT"},
 	}
-	variants := []struct {
-		name string
-		mut  func(*core.Config)
-	}{
-		{"pmp (default)", func(*core.Config) {}},
-		{"no halving (frozen counters)", func(c *core.Config) { c.NoHalving = true }},
-		{"no PB resume", func(c *core.Config) { c.NoResume = true }},
-		{"no halving + no resume", func(c *core.Config) { c.NoHalving = true; c.NoResume = true }},
-		{"cross-region projection", func(c *core.Config) { c.CrossRegion = true }},
-	}
-	for _, v := range variants {
-		mut := v.mut
-		res := sw.Run(v.name, func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			mut(&c)
-			return core.New(c)
-		}, cfg)
-		t.AddRow(v.name, f3(res.NIPC()), pct(res.NMT()))
+	for _, ab := range pmpAblations {
+		res := sw.RunVariant(PMPVariant(ab.Name, ab.Mut), cfg)
+		t.AddRow(ab.Name, f3(res.NIPC()), pct(res.NMT()))
 	}
 	t.Notes = append(t.Notes,
 		"halving keeps frequencies adaptive across phases; PB resume recovers prefetches suspended on full queues;",
@@ -743,20 +715,16 @@ func Placement(r *Runner) *Table {
 		Header: []string{"Configuration", "NIPC"},
 	}
 
-	pmpRes := r.Run(NamePMP, nil, cfg)
+	pmpRes := r.Run(NamePMP, cfg)
 	t.AddRow("PMP at L1D", f3(pmpRes.NIPC()))
 
-	// Original (non-doubled) Bingo: half the enhanced PHT. The LLC
-	// attachment doesn't fit Run's L1-trained shape, so the per-trace
-	// simulations go to the sweep as jobs under their own name, with
-	// the attach point on the wire for remote workers.
-	base := r.Baseline(cfg)
-	results := r.runJobsAt("bingo@llc", "llc", cfg, func(sp trace.Spec) sim.Result {
-		sys := sim.NewSystem(cfg, prefetch.Nop{})
-		sys.AttachLLCPrefetcher(bingoNew(bingoOriginalConfig()))
-		return sys.Run(sp.New(r.Scale.Records))
-	})
-	llcBingo := SuiteResult{Name: "bingo@llc", Results: results, Baseline: base, Specs: r.Specs()}
+	// Original (non-doubled) Bingo: half the enhanced PHT, placed at
+	// the LLC of an otherwise prefetcher-less machine. The placement
+	// travels in the run spec, so remote workers reconstruct the same
+	// system shape; the job keeps its historical "bingo@llc" name so
+	// existing stores resolve it.
+	llcBingo := r.RunPlaced("bingo@llc", RegistryVariant(NameNone),
+		[]runspec.Placement{{Level: 2, Variant: BingoLLCVariant()}}, cfg)
 	t.AddRow("original Bingo at LLC", f3(llcBingo.NIPC()))
 
 	if b := llcBingo.NIPC(); b > 0 {
@@ -796,7 +764,7 @@ func Inclusion(r *Runner) *Table {
 	for _, v := range variants {
 		cfg := r.Scale.Config()
 		v.mut(&cfg)
-		res := r.Run(NamePMP, nil, cfg)
+		res := r.Run(NamePMP, cfg)
 		t.AddRow(v.name, f3(res.NIPC()), pct(res.NMT()))
 	}
 	t.Notes = append(t.Notes,
@@ -816,16 +784,9 @@ func Thresholds(r *Runner) *Table {
 		Title:  "AFE threshold sweep (extension; paper fixes 50%/15%)",
 		Header: []string{"T_l1d", "T_l2c", "NIPC", "NMT"},
 	}
-	for _, pair := range [][2]float64{
-		{0.25, 0.15}, {0.50, 0.15}, {0.75, 0.15},
-		{0.50, 0.05}, {0.50, 0.30}, {0.75, 0.50},
-	} {
+	for _, pair := range pmpThresholds {
 		l1, l2 := pair[0], pair[1]
-		res := sw.Run(fmt.Sprintf("pmp-%g-%g", l1, l2), func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			c.TL1D, c.TL2C = l1, l2
-			return core.New(c)
-		}, cfg)
+		res := sw.RunVariant(thresholdVariant(l1, l2), cfg)
 		t.AddRow(pct(l1), pct(l2), f3(res.NIPC()), pct(res.NMT()))
 	}
 	t.Notes = append(t.Notes,

@@ -88,7 +88,7 @@ func External(r *Runner) *Table {
 	}
 	names := append(EvalNames(), RelatedNames()...)
 	for _, name := range names {
-		res := r.Run(name, nil, cfg)
+		res := r.Run(name, cfg)
 		t.AddRow(name, f3(res.NIPC()), pct(res.NMT()))
 	}
 	traces := make([]string, len(r.specs))

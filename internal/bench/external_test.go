@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"pmp/internal/runspec"
 	"pmp/internal/sweep"
 	"pmp/internal/sweep/remote"
 	"pmp/internal/trace"
@@ -128,7 +129,7 @@ func TestExternalRemoteCanonicalIdentity(t *testing.T) {
 		}
 		sw := sweep.New(context.Background(), sweep.Options{Workers: 1, Store: store})
 		r := NewRunnerWith(scale, sw).WithSpecs(specs)
-		r.Run(NamePMP, nil, cfg)
+		r.Run(NamePMP, cfg)
 		sw.Close()
 		store.Close()
 		var buf bytes.Buffer
@@ -169,7 +170,7 @@ func TestExternalRemoteCanonicalIdentity(t *testing.T) {
 		cl := remote.NewClient(srv.URL)
 		cl.Poll = 10 * time.Millisecond
 		r := NewRunnerRemote(ctx, scale, cl).WithSpecs(specs)
-		r.Run(NamePMP, nil, cfg)
+		r.Run(NamePMP, cfg)
 		if err := <-workerDone; err != nil && ctx.Err() == nil {
 			t.Fatalf("worker: %v", err)
 		}
@@ -207,24 +208,33 @@ func TestBuildJobRunTraceFile(t *testing.T) {
 
 	scale := extScale()
 	cfg := scale.Config()
-	run, err := BuildJobRun(remote.JobSpec{
+	exec, err := BuildJobRun(remote.JobSpec{
 		ID:         "wire-test",
 		Prefetcher: NamePMP,
 		Trace:      "wire-only-unregistered",
-		TraceFile:  path,
-		Records:    scale.Records,
-		Config:     cfg,
+		Run: runspec.RunSpec{
+			Cores: []runspec.CoreSpec{{
+				Trace:   runspec.TraceRef{Name: "wire-only-unregistered", File: path},
+				Variant: RegistryVariant(NamePMP),
+			}},
+			Records: scale.Records,
+			Config:  cfg,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := run(context.Background())
+	res := exec.Run(context.Background())
 	if res.Instructions == 0 {
 		t.Error("wire-file job simulated nothing")
 	}
 
 	// And an unknown trace with no file is still an error.
-	if _, err := BuildJobRun(remote.JobSpec{Prefetcher: NamePMP, Trace: "nope"}); err == nil {
-		t.Error("unknown trace without trace_file should error")
+	if _, err := BuildJobRun(remote.JobSpec{Run: runspec.RunSpec{
+		Cores:   []runspec.CoreSpec{{Trace: runspec.TraceRef{Name: "nope"}, Variant: RegistryVariant(NamePMP)}},
+		Records: scale.Records,
+		Config:  cfg,
+	}}); err == nil {
+		t.Error("unknown trace without a wire file should error")
 	}
 }

@@ -1,129 +1,10 @@
 package bench
 
 import (
-	"context"
-	"fmt"
-	"strconv"
-	"strings"
 	"sync"
 
-	"pmp/internal/core"
-	"pmp/internal/mem"
-	"pmp/internal/prefetch"
-	"pmp/internal/sim"
-	"pmp/internal/sweep/remote"
 	"pmp/internal/trace"
 )
-
-// The experiment variant grammar. Every sweep job's prefetcher name
-// must round-trip through ResolveVariant so a remote worker can
-// reconstruct the exact construction the submitting experiment used;
-// TestResolveVariantCoversExperiments pins the mapping against the
-// closures in experiments.go.
-
-// ablationVariants are the literal ablation names from Ablations.
-var ablationVariants = map[string]func(*core.Config){
-	"pmp (default)":                 func(*core.Config) {},
-	"no halving (frozen counters)":  func(c *core.Config) { c.NoHalving = true },
-	"no PB resume":                  func(c *core.Config) { c.NoResume = true },
-	"no halving + no resume":        func(c *core.Config) { c.NoHalving = true; c.NoResume = true },
-	"cross-region projection":       func(c *core.Config) { c.CrossRegion = true },
-}
-
-// schemeVariants maps the Extraction experiment's scheme suffixes.
-var schemeVariants = map[string]core.Scheme{
-	core.AFE.String(): core.AFE,
-	core.ANE.String(): core.ANE,
-	core.ARE.String(): core.ARE,
-}
-
-// featureVariants maps the MultiFeature experiment's mode suffixes.
-var featureVariants = map[string]core.FeatureMode{
-	core.DualTables.String(): core.DualTables,
-	core.Combined.String():   core.Combined,
-	core.OPTOnly.String():    core.OPTOnly,
-	core.PPTOnly.String():    core.PPTOnly,
-}
-
-// pmpWith builds a PMP constructor over a mutated default config.
-func pmpWith(mut func(*core.Config)) func() prefetch.Prefetcher {
-	return func() prefetch.Prefetcher {
-		c := core.DefaultConfig()
-		mut(&c)
-		return core.New(c)
-	}
-}
-
-// ResolveVariant maps any sweep job prefetcher name — a registry name
-// or an experiment variant such as "designb-32w", "pmp-tw8" or
-// "pmp-0.5-0.15" — to its constructor. Unknown names are an error,
-// so a worker on a stale binary quarantines the job instead of
-// silently simulating the wrong design.
-func ResolveVariant(name string) (func() prefetch.Prefetcher, error) {
-	for _, known := range Names() {
-		if name == known {
-			n := name
-			return func() prefetch.Prefetcher { return NewPrefetcher(n) }, nil
-		}
-	}
-	if mut, ok := ablationVariants[name]; ok {
-		return pmpWith(mut), nil
-	}
-	if name == "bingo@llc" {
-		return func() prefetch.Prefetcher { return bingoNew(bingoOriginalConfig()) }, nil
-	}
-	if rest, ok := strings.CutPrefix(name, "designb-"); ok {
-		ws, ok := strings.CutSuffix(rest, "w")
-		ways, err := strconv.Atoi(ws)
-		if !ok || err != nil {
-			return nil, fmt.Errorf("bench: bad designb variant %q", name)
-		}
-		return func() prefetch.Prefetcher {
-			c := core.DefaultDesignBConfig()
-			c.Ways = ways
-			return core.NewDesignB(c)
-		}, nil
-	}
-	rest, ok := strings.CutPrefix(name, "pmp-")
-	if !ok {
-		return nil, fmt.Errorf("bench: unknown prefetcher variant %q", name)
-	}
-	if sc, ok := schemeVariants[rest]; ok {
-		return pmpWith(func(c *core.Config) { c.Scheme = sc }), nil
-	}
-	if fm, ok := featureVariants[rest]; ok {
-		return pmpWith(func(c *core.Config) { c.Feature = fm }), nil
-	}
-	for _, p := range []struct {
-		prefix string
-		set    func(*core.Config, int)
-	}{
-		{"tw", func(c *core.Config, v int) { c.TriggerBits = v }},
-		{"cs", func(c *core.Config, v int) { c.OPTCounterBits = v }},
-		{"mr", func(c *core.Config, v int) { c.MonitoringRange = v }},
-	} {
-		if ns, ok := strings.CutPrefix(rest, p.prefix); ok {
-			if v, err := strconv.Atoi(ns); err == nil {
-				set := p.set
-				return pmpWith(func(c *core.Config) { set(c, v) }), nil
-			}
-		}
-	}
-	// "pmp-<l1>-<l2>": the Thresholds sweep ("%g" formatted floats).
-	if l1s, l2s, ok := strings.Cut(rest, "-"); ok {
-		l1, err1 := strconv.ParseFloat(l1s, 64)
-		l2, err2 := strconv.ParseFloat(l2s, 64)
-		if err1 == nil && err2 == nil {
-			return pmpWith(func(c *core.Config) { c.TL1D, c.TL2C = l1, l2 }), nil
-		}
-		return nil, fmt.Errorf("bench: unknown pmp variant %q", name)
-	}
-	// "pmp-<N>": the Table IX pattern-length sweep (region = N lines).
-	if lines, err := strconv.Atoi(rest); err == nil {
-		return pmpWith(func(c *core.Config) { c.RegionBytes = lines * mem.LineBytes }), nil
-	}
-	return nil, fmt.Errorf("bench: unknown pmp variant %q", name)
-}
 
 // suiteByName indexes the full trace suite by spec name, built once.
 var (
@@ -150,45 +31,4 @@ func suiteTrace(name string) (trace.Spec, bool) {
 	})
 	sp, ok := suiteIndex[name]
 	return sp, ok
-}
-
-// BuildJobRun resolves a wire job spec into its execution closure —
-// the function a remote worker hands to its local sweep pool. It is
-// the inverse of the spec construction in Runner.runJobs: same trace
-// generator, same prefetcher construction, same config, so the worker
-// produces the byte-identical sim.Result a serial run would.
-func BuildJobRun(spec remote.JobSpec) (func(ctx context.Context) sim.Result, error) {
-	var sp trace.Spec
-	if spec.TraceFile != "" {
-		// External trace: the wire spec carries the .pmpt path, so the
-		// worker needs no manifest. The name still keys job identity, so
-		// it must match what the submitter registered.
-		sp = trace.FileSpec(trace.ExternalSpec{Name: spec.Trace, Path: spec.TraceFile})
-	} else {
-		var ok bool
-		sp, ok = TraceByName(spec.Trace)
-		if !ok {
-			return nil, fmt.Errorf("bench: unknown trace spec %q", spec.Trace)
-		}
-	}
-	mk, err := ResolveVariant(spec.Prefetcher)
-	if err != nil {
-		return nil, err
-	}
-	cfg := spec.Config
-	records := spec.Records
-	switch spec.Attach {
-	case "":
-		return func(context.Context) sim.Result {
-			return sim.NewSystem(cfg, mk()).Run(sp.New(records))
-		}, nil
-	case "llc":
-		return func(context.Context) sim.Result {
-			sys := sim.NewSystem(cfg, prefetch.Nop{})
-			sys.AttachLLCPrefetcher(mk())
-			return sys.Run(sp.New(records))
-		}, nil
-	default:
-		return nil, fmt.Errorf("bench: unknown attach point %q", spec.Attach)
-	}
 }

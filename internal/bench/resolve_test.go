@@ -3,151 +3,24 @@ package bench
 import (
 	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
-	"pmp/internal/core"
 	"pmp/internal/prefetch"
+	"pmp/internal/runspec"
 	"pmp/internal/sim"
 	"pmp/internal/sweep"
 	"pmp/internal/sweep/remote"
-	"pmp/internal/trace"
 )
 
 // resolveScale is deliberately tiny: these tests compare constructions
 // for equality, not performance.
 var resolveScale = Scale{Traces: 1, Records: 12_000, Warmup: 3_000, Measure: 30_000}
-
-// runVariant simulates one trace with the given constructor.
-func runVariant(mk func() prefetch.Prefetcher) sim.Result {
-	cfg := resolveScale.Config()
-	sp := resolveScale.Specs()[0]
-	return sim.NewSystem(cfg, mk()).Run(sp.New(resolveScale.Records))
-}
-
-// Every variant name an experiment can put on the wire must resolve to
-// the exact construction the experiment's closure uses: same config
-// mutation, same simulated behaviour. This pins ResolveVariant against
-// the closures in experiments.go — a renamed variant or a dropped
-// config field fails here, not as a silently wrong distributed run.
-func TestResolveVariantCoversExperiments(t *testing.T) {
-	cases := []struct {
-		name string
-		want func() prefetch.Prefetcher
-	}{
-		// TableVIII
-		{"designb-32w", func() prefetch.Prefetcher {
-			c := core.DefaultDesignBConfig()
-			c.Ways = 32
-			return core.NewDesignB(c)
-		}},
-		// Extraction schemes
-		{"pmp-" + core.ANE.String(), func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			c.Scheme = core.ANE
-			return core.New(c)
-		}},
-		// MultiFeature modes
-		{"pmp-" + core.OPTOnly.String(), func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			c.Feature = core.OPTOnly
-			return core.New(c)
-		}},
-		// Table IX pattern length
-		{"pmp-32", func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			c.RegionBytes = 2048
-			return core.New(c)
-		}},
-		// Table X trigger width / counter size
-		{"pmp-tw8", func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			c.TriggerBits = 8
-			return core.New(c)
-		}},
-		{"pmp-cs4", func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			c.OPTCounterBits = 4
-			return core.New(c)
-		}},
-		// Table XI monitoring range
-		{"pmp-mr4", func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			c.MonitoringRange = 4
-			return core.New(c)
-		}},
-		// Thresholds sweep (%g-formatted floats)
-		{"pmp-0.75-0.15", func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			c.TL1D, c.TL2C = 0.75, 0.15
-			return core.New(c)
-		}},
-		// Ablations (literal names)
-		{"no halving + no resume", func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			c.NoHalving = true
-			c.NoResume = true
-			return core.New(c)
-		}},
-		{"cross-region projection", func() prefetch.Prefetcher {
-			c := core.DefaultConfig()
-			c.CrossRegion = true
-			return core.New(c)
-		}},
-		// Registry names pass through
-		{NamePMP, func() prefetch.Prefetcher { return NewPrefetcher(NamePMP) }},
-		{NameBingo, func() prefetch.Prefetcher { return NewPrefetcher(NameBingo) }},
-	}
-	for _, tc := range cases {
-		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			t.Parallel()
-			mk, err := ResolveVariant(tc.name)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got, want := runVariant(mk), runVariant(tc.want)
-			if !reflect.DeepEqual(got, want) {
-				t.Errorf("ResolveVariant(%q) simulates differently from the experiment closure:\ngot  %+v\nwant %+v",
-					tc.name, got, want)
-			}
-		})
-	}
-}
-
-// Every registry name and ablation literal resolves without error.
-func TestResolveVariantAcceptsAllNames(t *testing.T) {
-	names := append(Names(),
-		"pmp (default)", "no halving (frozen counters)", "no PB resume",
-		"bingo@llc", "designb-8w", "designb-512w",
-		"pmp-"+core.AFE.String(), "pmp-"+core.ARE.String(),
-		"pmp-"+core.DualTables.String(), "pmp-"+core.Combined.String(),
-		"pmp-"+core.PPTOnly.String(),
-		"pmp-tw6", "pmp-tw12", "pmp-cs2", "pmp-cs8", "pmp-mr1", "pmp-mr8",
-		"pmp-16", "pmp-64", "pmp-0.5-0.05", "pmp-0.25-0.15",
-	)
-	for _, name := range names {
-		if _, err := ResolveVariant(name); err != nil {
-			t.Errorf("ResolveVariant(%q): %v", name, err)
-		}
-	}
-}
-
-// Unknown names must error (quarantine on a stale worker), never fall
-// back to some other design.
-func TestResolveVariantRejectsUnknown(t *testing.T) {
-	for _, name := range []string{
-		"", "frobnicate", "pmp-", "pmp-xyz", "pmp-tw", "pmp-1.0-zz",
-		"designb-w", "designb-32", "bingo@l2",
-	} {
-		if _, err := ResolveVariant(name); err == nil {
-			t.Errorf("ResolveVariant(%q) resolved; want error", name)
-		}
-	}
-}
 
 // sim.Config must survive the wire: a JSON round-trip preserves the
 // fingerprint that keys job identity, or remote job IDs would never
@@ -167,70 +40,103 @@ func TestConfigFingerprintSurvivesJSON(t *testing.T) {
 	}
 }
 
-// BuildJobRun must reproduce the serial path byte-for-byte, at both
-// attach points.
-func TestBuildJobRunMatchesLocal(t *testing.T) {
+// singleSpec is the one-core run spec the suite path submits.
+func singleSpec(traceName string, v VariantSpec, placements []runspec.Placement, cfg sim.Config) runspec.RunSpec {
+	return runspec.RunSpec{
+		Cores:      []runspec.CoreSpec{{Trace: runspec.TraceRef{Name: traceName}, Variant: v}},
+		Placements: placements,
+		Records:    resolveScale.Records,
+		Config:     cfg,
+	}
+}
+
+// BuildRun must reproduce the legacy serial path byte-for-byte: a plain
+// single-core run equals sim.NewSystem, and an LLC placement equals the
+// old AttachLLCPrefetcher attach point.
+func TestBuildRunMatchesLocal(t *testing.T) {
 	cfg := resolveScale.Config()
 	sp := resolveScale.Specs()[0]
 
 	for _, tc := range []struct {
-		attach string
-		local  func() sim.Result
+		name  string
+		spec  runspec.RunSpec
+		local func() sim.Result
 	}{
-		{"", func() sim.Result {
+		{"core", singleSpec(sp.Name, RegistryVariant(NamePMP), nil, cfg), func() sim.Result {
 			return sim.NewSystem(cfg, NewPrefetcher(NamePMP)).Run(sp.New(resolveScale.Records))
 		}},
-		{"llc", func() sim.Result {
+		{"llc-placement", singleSpec(sp.Name, RegistryVariant(NameNone),
+			[]runspec.Placement{{Level: 2, Variant: RegistryVariant(NamePMP)}}, cfg), func() sim.Result {
 			sys := sim.NewSystem(cfg, prefetch.Nop{})
 			sys.AttachLLCPrefetcher(NewPrefetcher(NamePMP))
 			return sys.Run(sp.New(resolveScale.Records))
 		}},
 	} {
-		run, err := BuildJobRun(remote.JobSpec{
-			ID: "t", Label: NamePMP + "/" + sp.Name,
-			Prefetcher: NamePMP, Trace: sp.Name,
-			Records: resolveScale.Records, Attach: tc.attach, Config: cfg,
+		t.Run(tc.name, func(t *testing.T) {
+			exec, err := BuildRun(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want := exec.Run(context.Background()), tc.local()
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("spec build differs from legacy construction:\ngot  %+v\nwant %+v", got, want)
+			}
 		})
-		if err != nil {
-			t.Fatalf("attach %q: %v", tc.attach, err)
-		}
-		got, want := run(context.Background()), tc.local()
-		if !reflect.DeepEqual(got, want) {
-			t.Errorf("attach %q: remote build differs from local run:\ngot  %+v\nwant %+v", tc.attach, got, want)
-		}
 	}
+}
 
-	if _, err := BuildJobRun(remote.JobSpec{Prefetcher: NamePMP, Trace: "no-such-trace"}); err == nil {
-		t.Error("BuildJobRun accepted an unknown trace")
+// Structural and resolution errors must surface at build time, before
+// any simulation: that is what lets a worker quarantine a stale or
+// malformed job instead of crashing mid-run.
+func TestBuildRunRejects(t *testing.T) {
+	cfg := resolveScale.Config()
+	sp := resolveScale.Specs()[0]
+	cases := map[string]runspec.RunSpec{
+		"unknown trace":    singleSpec("no-such-trace", RegistryVariant(NamePMP), nil, cfg),
+		"unknown registry": singleSpec(sp.Name, RegistryVariant("frobnicate"), nil, cfg),
+		"placement depth": singleSpec(sp.Name, RegistryVariant(NamePMP),
+			[]runspec.Placement{{Level: 3, Variant: RegistryVariant(NameBingo)}}, cfg),
+		"no construction": singleSpec(sp.Name, VariantSpec{Name: "empty"}, nil, cfg),
+		"no cores":        {Records: 1000, Config: cfg},
 	}
-	if _, err := BuildJobRun(remote.JobSpec{Prefetcher: NamePMP, Trace: sp.Name, Attach: "l2"}); err == nil {
-		t.Error("BuildJobRun accepted an unknown attach point")
+	for name, rs := range cases {
+		if _, err := BuildRun(rs); err == nil {
+			t.Errorf("%s: BuildRun accepted %+v", name, rs)
+		}
 	}
 }
 
 // A remote runner against a real coordinator and worker produces the
 // same results as the local sweep path — the full client → wire →
-// resolve → simulate loop at tiny scale.
+// build → simulate loop at tiny scale, with bearer-token auth on.
 func TestRunnerRemoteMatchesLocal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spins up a coordinator, a worker, and real simulations")
 	}
+	const token = "remote-test-secret"
 	scale := Scale{Traces: 2, Records: 12_000, Warmup: 3_000, Measure: 30_000}
 	cfg := scale.Config()
 
-	local := NewRunner(scale)
-	want := local.runJobsAt(NamePMP, "", cfg, func(sp trace.Spec) sim.Result {
-		return sim.NewSystem(cfg, NewPrefetcher(NamePMP)).Run(sp.New(scale.Records))
-	})
+	want := NewRunner(scale).Run(NamePMP, cfg)
 
 	store, err := sweep.OpenStore(filepath.Join(t.TempDir(), "store.jsonl"), false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer store.Close()
-	coord := remote.NewCoordinator(remote.CoordinatorOptions{Store: store})
+	coord := remote.NewCoordinator(remote.CoordinatorOptions{Store: store, AuthToken: token})
 	srv := httptest.NewServer(coord.Handler())
 	defer srv.Close()
+
+	// The shared secret gates every endpoint: no header, no service.
+	resp, err := http.Post(srv.URL+"/status", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /status = %d, want %d", resp.StatusCode, http.StatusUnauthorized)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -244,18 +150,23 @@ func TestRunnerRemoteMatchesLocal(t *testing.T) {
 			Name:        "test",
 			Parallel:    2,
 			Build:       BuildJobRun,
+			Token:       token,
 			Poll:        10 * time.Millisecond,
 		})
 	}()
 
 	rc := remote.NewClient(srv.URL)
 	rc.Poll = 10 * time.Millisecond
+	rc.Token = token
 	r := NewRunnerRemote(ctx, scale, rc)
-	got := r.runJobsAt(NamePMP, "", cfg, nil)
+	got := r.Run(NamePMP, cfg)
 
 	stopWorker()
 	<-workerDone
-	if !reflect.DeepEqual(got, want) {
-		t.Errorf("remote run differs from local:\ngot  %+v\nwant %+v", got, want)
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Errorf("remote run differs from local:\ngot  %+v\nwant %+v", got.Results, want.Results)
+	}
+	if !reflect.DeepEqual(got.Baseline, want.Baseline) {
+		t.Errorf("remote baseline differs from local:\ngot  %+v\nwant %+v", got.Baseline, want.Baseline)
 	}
 }

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"pmp/internal/core"
+	"pmp/internal/mem"
+)
+
+// The grammar has genuinely ambiguous-looking corners — "pmp-8" (a
+// region sweep) vs "pmp-tw8" (a trigger-width sweep) vs "pmp-0.5-0.15"
+// (a threshold pair), and ablation literals containing '+' and spaces.
+// These pins make sure each lands on the intended knob and nothing
+// else.
+func TestParseVariantPins(t *testing.T) {
+	def := core.DefaultConfig()
+	cases := []struct {
+		name  string
+		check func(t *testing.T, v VariantSpec)
+	}{
+		{"pmp-0.5-0.15", func(t *testing.T, v VariantSpec) {
+			if v.PMP == nil || v.PMP.TL1D != 0.5 || v.PMP.TL2C != 0.15 {
+				t.Errorf("want thresholds 0.5/0.15, got %+v", v.PMP)
+			}
+		}},
+		{"pmp-8", func(t *testing.T, v VariantSpec) {
+			if v.PMP == nil || v.PMP.RegionBytes != 8*mem.LineBytes {
+				t.Errorf("want region %d bytes, got %+v", 8*mem.LineBytes, v.PMP)
+			}
+			if v.PMP != nil && v.PMP.TriggerBits != def.TriggerBits {
+				t.Errorf("pmp-8 must not touch TriggerBits: %+v", v.PMP)
+			}
+		}},
+		{"pmp-32", func(t *testing.T, v VariantSpec) {
+			if v.PMP == nil || v.PMP.RegionBytes != 2048 {
+				t.Errorf("want region 2048 bytes, got %+v", v.PMP)
+			}
+		}},
+		{"pmp-tw8", func(t *testing.T, v VariantSpec) {
+			if v.PMP == nil || v.PMP.TriggerBits != 8 {
+				t.Errorf("want TriggerBits 8, got %+v", v.PMP)
+			}
+			if v.PMP != nil && v.PMP.RegionBytes != def.RegionBytes {
+				t.Errorf("pmp-tw8 must not touch RegionBytes: %+v", v.PMP)
+			}
+		}},
+		{"no halving + no resume", func(t *testing.T, v VariantSpec) {
+			if v.PMP == nil || !v.PMP.NoHalving || !v.PMP.NoResume {
+				t.Errorf("want both ablation flags, got %+v", v.PMP)
+			}
+		}},
+		{"pmp (default)", func(t *testing.T, v VariantSpec) {
+			if v.PMP == nil || !reflect.DeepEqual(*v.PMP, def) {
+				t.Errorf("want the default config, got %+v", v.PMP)
+			}
+		}},
+		{"cross-region projection", func(t *testing.T, v VariantSpec) {
+			if v.PMP == nil || !v.PMP.CrossRegion {
+				t.Errorf("want CrossRegion, got %+v", v.PMP)
+			}
+		}},
+		{"designb-32w", func(t *testing.T, v VariantSpec) {
+			if v.DesignB == nil || v.DesignB.Ways != 32 {
+				t.Errorf("want Design B with 32 ways, got %+v", v.DesignB)
+			}
+		}},
+		{"bingo@llc", func(t *testing.T, v VariantSpec) {
+			orig := bingoOriginalConfig()
+			if v.Bingo == nil || !reflect.DeepEqual(*v.Bingo, orig) {
+				t.Errorf("want the original Bingo config, got %+v", v.Bingo)
+			}
+		}},
+		{NamePMP, func(t *testing.T, v VariantSpec) {
+			if v.Registry != NamePMP {
+				t.Errorf("registry name must parse as a registry variant, got %+v", v)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := ParseVariant(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Name != tc.name {
+				t.Errorf("parsed Name = %q, want %q", v.Name, tc.name)
+			}
+			tc.check(t, v)
+		})
+	}
+}
+
+// Unknown names must error (quarantine on a stale worker), never fall
+// back to some other design.
+func TestParseVariantRejectsUnknown(t *testing.T) {
+	for _, name := range []string{
+		"", "frobnicate", "pmp-", "pmp-xyz", "pmp-tw", "pmp-1.0-zz",
+		"designb-w", "designb-32", "bingo@l2",
+	} {
+		if _, err := ParseVariant(name); err == nil {
+			t.Errorf("ParseVariant(%q) resolved; want error", name)
+		}
+	}
+}
+
+// The round-trip property: every variant any registered experiment can
+// submit survives spec → name → ParseVariant unchanged, and no two
+// distinct specs share a name. Together these pin the grammar against
+// the typed constructors — a renamed knob or an ambiguous new name
+// fails here, not as a silently wrong resumed run.
+func TestExperimentVariantsRoundTrip(t *testing.T) {
+	vars := ExperimentVariants()
+	if len(vars) < 40 {
+		t.Fatalf("only %d experiment variants; the sweeps should contribute dozens", len(vars))
+	}
+	seen := map[string]VariantSpec{}
+	for _, v := range vars {
+		if err := v.Validate(); err != nil {
+			t.Errorf("%q: invalid spec: %v", v.Name, err)
+		}
+		if prev, dup := seen[v.Name]; dup && !reflect.DeepEqual(prev, v) {
+			t.Errorf("name %q is ambiguous: %+v vs %+v", v.Name, prev, v)
+		}
+		seen[v.Name] = v
+
+		back, err := ParseVariant(v.Name)
+		if err != nil {
+			t.Errorf("ParseVariant(%q): %v", v.Name, err)
+			continue
+		}
+		if !reflect.DeepEqual(back, v) {
+			t.Errorf("round-trip changed %q:\nspec  %+v\nparse %+v", v.Name, v, back)
+		}
+	}
+}
+
+// Every experiment variant constructs, and the construction honours the
+// spec (fresh instances, correct design family).
+func TestBuildVariantConstructsAll(t *testing.T) {
+	for _, v := range ExperimentVariants() {
+		pf, err := BuildVariant(v)
+		if err != nil {
+			t.Errorf("BuildVariant(%q): %v", v.Name, err)
+			continue
+		}
+		if pf == nil {
+			t.Errorf("BuildVariant(%q) = nil", v.Name)
+		}
+	}
+	if _, err := BuildVariant(RegistryVariant("frobnicate")); err == nil {
+		t.Error("unknown registry name accepted")
+	}
+}
+
+// Variant fingerprints must survive the wire: marshal → unmarshal →
+// identical fingerprint, since the coordinator dedups by the IDs
+// clients derive from these specs.
+func TestVariantFingerprintSurvivesJSON(t *testing.T) {
+	for _, v := range ExperimentVariants() {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back VariantSpec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Fingerprint() != v.Fingerprint() {
+			t.Errorf("%q: fingerprint changed across JSON round-trip", v.Name)
+		}
+	}
+}

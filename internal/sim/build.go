@@ -1,0 +1,36 @@
+package sim
+
+import "pmp/internal/prefetch"
+
+// HierarchyDepth returns the number of cache levels the configuration
+// resolves to (explicit Levels, or the classic 3-level fallback).
+// Run-spec validation uses it to bound placement levels without
+// constructing a machine.
+func (c Config) HierarchyDepth() int { return len(c.hierarchy()) }
+
+// AttachSpec places an extra prefetcher at one cache level of every
+// core: Level indexes the hierarchy (1 = the level below L1D,
+// HierarchyDepth-1 = the outermost), and New constructs a fresh
+// instance per core — attached prefetchers hold state and must never
+// be shared between cores.
+type AttachSpec struct {
+	Level int
+	New   func() prefetch.Prefetcher
+}
+
+// NewMachineAt builds a Machine with one trained (level-0) prefetcher
+// per core plus the given per-level attachments, and sets the
+// trace-replay mode. It is the single spec→Machine construction path:
+// serial runs, the local pool, and remote workers all materialize
+// run specs through it, so a run is assembled identically no matter
+// which scheduler executes it.
+func NewMachineAt(cfg Config, trained []prefetch.Prefetcher, attach []AttachSpec, replay bool) *Machine {
+	m := NewMachine(cfg, trained)
+	for _, a := range attach {
+		for i := 0; i < m.NumCores(); i++ {
+			m.Core(i).AttachPrefetcher(a.Level, a.New())
+		}
+	}
+	m.SetTraceReplay(replay)
+	return m
+}

@@ -42,6 +42,18 @@ type Job struct {
 	// the worker stops waiting regardless — but a cooperative Run can
 	// use it to stop early.
 	Run func(ctx context.Context) sim.Result
+	// RunMulti, when set instead of Run, executes a multi-result
+	// simulation (one result per core of a multicore run). Exactly one
+	// of Run/RunMulti must be set; the results land in Record.Results.
+	RunMulti func(ctx context.Context) []sim.Result
+}
+
+// Exec is a built, executable form of a run spec: exactly one of Run
+// (single-core) or RunMulti (multicore) is set. bench.BuildRun
+// produces it; the local pool and remote workers submit it unchanged.
+type Exec struct {
+	Run      func(ctx context.Context) sim.Result
+	RunMulti func(ctx context.Context) []sim.Result
 }
 
 // JobID hashes the coordinates of one simulation into a deterministic

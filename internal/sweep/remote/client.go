@@ -22,6 +22,10 @@ type Client struct {
 	// transport errors (coordinator down) before giving up; <= 0
 	// means 2 minutes.
 	MaxSilence time.Duration
+	// Token is the shared-secret bearer token sent with every request
+	// when the coordinator requires auth (-auth-token). Empty sends no
+	// Authorization header.
+	Token string
 }
 
 // NewClient builds a client for the coordinator address (host:port or
@@ -38,14 +42,14 @@ func NewClient(addr string) *Client {
 // store are served from it.
 func (c *Client) Submit(ctx context.Context, jobs []JobSpec) (SubmitResponse, error) {
 	var resp SubmitResponse
-	err := postJSON(ctx, c.hc, c.base+PathSubmit, SubmitRequest{Jobs: jobs}, &resp)
+	err := postJSON(ctx, c.hc, c.base+PathSubmit, c.Token, SubmitRequest{Jobs: jobs}, &resp)
 	return resp, err
 }
 
 // Status fetches the coordinator's current counters.
 func (c *Client) Status(ctx context.Context) (Status, error) {
 	var st Status
-	err := postJSON(ctx, c.hc, c.base+PathStatus, struct{}{}, &st)
+	err := postJSON(ctx, c.hc, c.base+PathStatus, c.Token, struct{}{}, &st)
 	return st, err
 }
 
@@ -69,7 +73,7 @@ func (c *Client) Wait(ctx context.Context, ids []string) (map[string]sweep.Recor
 	lastOK := time.Now()
 	for len(remaining) > 0 {
 		var resp ResultsResponse
-		err := postJSON(ctx, c.hc, c.base+PathResults, ResultsRequest{IDs: remaining}, &resp)
+		err := postJSON(ctx, c.hc, c.base+PathResults, c.Token, ResultsRequest{IDs: remaining}, &resp)
 		if err != nil {
 			if ctx.Err() != nil {
 				return out, ctx.Err()

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -39,6 +40,12 @@ type CoordinatorOptions struct {
 	// Addr is the advertised coordinator address, recorded in the run
 	// manifest for auditability.
 	Addr string
+	// AuthToken, when non-empty, requires every request to carry a
+	// matching `Authorization: Bearer <token>` header (constant-time
+	// compare); unauthorized requests get 401. Shared-secret auth for
+	// multi-tenant deployments — distribute the token to workers and
+	// clients out of band.
+	AuthToken string
 	// Logf, when non-nil, receives one line per scheduling event.
 	Logf func(format string, args ...any)
 	// Now overrides the clock (tests). Nil means time.Now.
@@ -506,6 +513,20 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
+		// Structural validation only: the coordinator vets that every
+		// spec describes a well-formed run (cores, placements within the
+		// hierarchy, records, config) without constructing designs or
+		// resolving traces — that stays on the workers.
+		for _, spec := range req.Jobs {
+			if spec.ID == "" {
+				continue
+			}
+			if err := spec.Run.Validate(); err != nil {
+				http.Error(w, fmt.Sprintf("invalid job %s (%s): %v", spec.ID, spec.Label, err),
+					http.StatusBadRequest)
+				return
+			}
+		}
 		reply(w, c.submit(req))
 	})
 	mux.HandleFunc(PathLease, func(w http.ResponseWriter, r *http.Request) {
@@ -542,7 +563,25 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc(PathStatus, func(w http.ResponseWriter, r *http.Request) {
 		reply(w, c.Status())
 	})
-	return mux
+	return c.authMiddleware(mux)
+}
+
+// authMiddleware enforces the shared-secret bearer token on every
+// endpoint when AuthToken is set. The compare is constant-time so the
+// token cannot be recovered byte-by-byte from response timing.
+func (c *Coordinator) authMiddleware(next http.Handler) http.Handler {
+	if c.opts.AuthToken == "" {
+		return next
+	}
+	want := []byte("Bearer " + c.opts.AuthToken)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // decode reads a JSON request body, replying 400 on malformed input.

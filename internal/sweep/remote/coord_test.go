@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"pmp/internal/runspec"
 	"pmp/internal/sim"
 	"pmp/internal/sweep"
 )
@@ -59,7 +60,20 @@ func spec(i int) JobSpec {
 		Label:      fmt.Sprintf("pf/trace-%d", i),
 		Prefetcher: "pf",
 		Trace:      fmt.Sprintf("trace-%d", i),
-		Records:    1000,
+		Run:        wireRun(fmt.Sprintf("trace-%d", i), "pf"),
+	}
+}
+
+// wireRun is a structurally valid single-core run spec for wire tests;
+// nothing here ever builds it.
+func wireRun(traceName, pf string) runspec.RunSpec {
+	return runspec.RunSpec{
+		Cores: []runspec.CoreSpec{{
+			Trace:   runspec.TraceRef{Name: traceName},
+			Variant: runspec.VariantSpec{Name: pf, Registry: pf},
+		}},
+		Records: 1000,
+		Config:  sim.DefaultConfig(),
 	}
 }
 

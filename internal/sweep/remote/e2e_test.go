@@ -18,18 +18,18 @@ import (
 // fakeBuild resolves every spec into a deterministic synthetic result
 // derived from the spec itself — a stand-in for a real simulation that
 // makes record-for-record comparison meaningful.
-func fakeBuild(spec JobSpec) (func(ctx context.Context) sim.Result, error) {
+func fakeBuild(spec JobSpec) (sweep.Exec, error) {
 	h := fnv.New64a()
 	h.Write([]byte(spec.ID))
 	seed := h.Sum64()
-	return func(ctx context.Context) sim.Result {
+	return sweep.Exec{Run: func(ctx context.Context) sim.Result {
 		return sim.Result{
 			Trace:        spec.Trace,
 			Prefetcher:   spec.Prefetcher,
 			Instructions: seed % 1_000_000,
 			Cycles:       seed % 500_000,
 		}
-	}, nil
+	}}, nil
 }
 
 // serveCoordinator spins up a coordinator over a fresh store behind an
@@ -60,7 +60,7 @@ func e2eSpecs(n int) []JobSpec {
 			Label:      fmt.Sprintf("pf-%d/trace-%d", i%3, i),
 			Prefetcher: fmt.Sprintf("pf-%d", i%3),
 			Trace:      fmt.Sprintf("trace-%d", i),
-			Records:    1000,
+			Run:        wireRun(fmt.Sprintf("trace-%d", i), fmt.Sprintf("pf-%d", i%3)),
 		}
 	}
 	return specs
@@ -136,8 +136,8 @@ func TestDistributedDeterminism1v3(t *testing.T) {
 	}
 	pool := sweep.New(context.Background(), sweep.Options{Workers: 1, Store: store})
 	for _, s := range specs {
-		run, _ := fakeBuild(s)
-		pool.Submit(sweep.Job{ID: s.ID, Label: s.Label, Prefetcher: s.Prefetcher, Trace: s.Trace, Run: run})
+		exec, _ := fakeBuild(s)
+		pool.Submit(sweep.Job{ID: s.ID, Label: s.Label, Prefetcher: s.Prefetcher, Trace: s.Trace, Run: exec.Run})
 	}
 	pool.Close()
 	store.Close()
@@ -187,11 +187,11 @@ func TestWorkerDeathRelease(t *testing.T) {
 			Coordinator: srv.URL,
 			Name:        "victim",
 			Parallel:    2,
-			Build: func(spec JobSpec) (func(context.Context) sim.Result, error) {
-				return func(jctx context.Context) sim.Result {
+			Build: func(spec JobSpec) (sweep.Exec, error) {
+				return sweep.Exec{Run: func(jctx context.Context) sim.Result {
 					<-jctx.Done()
 					return sim.Result{}
-				}, nil
+				}}, nil
 			},
 			Poll: 10 * time.Millisecond,
 		})

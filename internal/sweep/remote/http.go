@@ -22,11 +22,12 @@ func normalizeBase(addr string) string {
 	return addr
 }
 
-// postJSON sends one JSON request and decodes the JSON response. A
+// postJSON sends one JSON request and decodes the JSON response,
+// attaching the shared-secret bearer token when one is configured. A
 // non-2xx status is returned as a *StatusError so callers can
 // distinguish protocol rejections (re-register) from transport
 // failures (retry).
-func postJSON(ctx context.Context, hc *http.Client, url string, req, resp any) error {
+func postJSON(ctx context.Context, hc *http.Client, url, token string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("remote: marshal request: %w", err)
@@ -36,6 +37,9 @@ func postJSON(ctx context.Context, hc *http.Client, url string, req, resp any) e
 		return fmt.Errorf("remote: build request: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		hreq.Header.Set("Authorization", "Bearer "+token)
+	}
 	hresp, err := hc.Do(hreq)
 	if err != nil {
 		return err

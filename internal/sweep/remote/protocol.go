@@ -21,7 +21,7 @@ package remote
 import (
 	"time"
 
-	"pmp/internal/sim"
+	"pmp/internal/runspec"
 	"pmp/internal/sweep"
 )
 
@@ -36,38 +36,28 @@ const (
 	PathResults  = "/results"
 )
 
-// JobSpec is the wire form of one simulation job: everything a worker
-// needs to reconstruct the run without sharing memory with the
-// submitter. The prefetcher is carried by name (registry names plus
-// the experiment variant grammar — see bench.ResolveVariant), the
-// trace by suite spec name, and the system by the full sim.Config
-// (value types only, so it round-trips JSON losslessly).
+// JobSpec is the wire form of one simulation job: a declarative
+// runspec.RunSpec (per-core traces and variants, per-level placements,
+// record count, full sim.Config) plus identity and annotations —
+// everything a worker needs to reconstruct the run without sharing
+// memory with the submitter. bench.BuildJobRun materializes it on the
+// worker through the same BuildRun path a local run uses.
 type JobSpec struct {
 	// ID is the deterministic sweep job identity (sweep.JobID). The
 	// coordinator deduplicates and shards by it.
 	ID string `json:"id"`
 	// Label is the human-readable form used in progress and logs.
 	Label string `json:"label"`
-	// Prefetcher names the prefetcher construction: a registry name or
-	// an experiment variant name such as "pmp-tw8" or "designb-32w".
+	// Prefetcher and Trace annotate store records (and quarantine
+	// records for jobs that never built); the run itself is described
+	// by Run. Prefetcher is the variant name, Trace the RunSpec's
+	// trace key.
 	Prefetcher string `json:"prefetcher"`
-	// Trace is the suite trace spec name (trace.Suite), or the manifest
-	// name of an external trace when TraceFile is set.
-	Trace string `json:"trace"`
-	// TraceFile is the backing .pmpt path for external (manifest)
-	// traces: the worker opens the file directly instead of resolving
-	// Trace against a manifest it may not have. Empty for synthetic
-	// suite traces. The path must be readable where the worker runs
-	// (shared filesystem or same host).
-	TraceFile string `json:"trace_file,omitempty"`
-	// Records is the per-trace record count of the scale.
-	Records int `json:"records"`
-	// Attach selects where the prefetcher is attached: "" trains at
-	// the innermost level (the normal path), "llc" attaches at the LLC
-	// (the paper's §V-B original-Bingo placement).
-	Attach string `json:"attach,omitempty"`
-	// Config is the complete simulated-system configuration.
-	Config sim.Config `json:"config"`
+	Trace      string `json:"trace"`
+	// Run is the declarative description of the simulation. The
+	// coordinator validates it structurally at submit; the worker
+	// builds and executes it.
+	Run runspec.RunSpec `json:"run"`
 }
 
 // RegisterRequest announces a worker to the coordinator.

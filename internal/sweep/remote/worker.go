@@ -9,7 +9,6 @@ import (
 	"runtime"
 	"time"
 
-	"pmp/internal/sim"
 	"pmp/internal/sweep"
 )
 
@@ -22,10 +21,14 @@ type WorkerOptions struct {
 	Name string
 	// Parallel is the local pool size; <= 0 means GOMAXPROCS.
 	Parallel int
-	// Build resolves a wire job into its execution closure (normally
-	// bench.BuildJobRun). A spec Build rejects is reported back as a
+	// Build resolves a wire job into its executable form (normally
+	// bench.BuildJobRun, which materializes spec.Run through the shared
+	// BuildRun path). A spec Build rejects is reported back as a
 	// quarantined record instead of being run.
-	Build func(spec JobSpec) (func(ctx context.Context) sim.Result, error)
+	Build func(spec JobSpec) (sweep.Exec, error)
+	// Token is the shared-secret bearer token sent with every request
+	// when the coordinator requires auth (-auth-token).
+	Token string
 	// MaxAttempts and JobTimeout configure the local sweep pool (the
 	// same retry-then-quarantine semantics as a serial run).
 	MaxAttempts int
@@ -95,7 +98,7 @@ type worker struct {
 func (w *worker) register(ctx context.Context) error {
 	for attempt := 0; ; attempt++ {
 		var resp RegisterResponse
-		err := postJSON(ctx, w.hc, w.base+PathRegister,
+		err := postJSON(ctx, w.hc, w.base+PathRegister, w.opts.Token,
 			RegisterRequest{Name: w.opts.Name, Parallel: w.opts.Parallel}, &resp)
 		if err == nil {
 			w.id = resp.WorkerID
@@ -124,7 +127,7 @@ func (w *worker) run(ctx context.Context) error {
 			return ctx.Err()
 		}
 		var lease LeaseResponse
-		err := postJSON(ctx, w.hc, w.base+PathLease,
+		err := postJSON(ctx, w.hc, w.base+PathLease, w.opts.Token,
 			LeaseRequest{WorkerID: w.id, Max: 2 * w.opts.Parallel}, &lease)
 		if err != nil {
 			var se *StatusError
@@ -169,7 +172,7 @@ func (w *worker) runBatch(ctx context.Context, lease LeaseResponse) error {
 	outstanding := 0
 	for _, spec := range lease.Jobs {
 		spec := spec
-		run, err := w.opts.Build(spec)
+		exec, err := w.opts.Build(spec)
 		if err != nil {
 			// Unresolvable on this worker: its quarantine record, not a
 			// crash, so the coordinator and store see the failure.
@@ -187,7 +190,8 @@ func (w *worker) runBatch(ctx context.Context, lease LeaseResponse) error {
 			Label:      spec.Label,
 			Prefetcher: spec.Prefetcher,
 			Trace:      spec.Trace,
-			Run:        run,
+			Run:        exec.Run,
+			RunMulti:   exec.RunMulti,
 		})
 		outstanding++
 		go func() {
@@ -239,7 +243,7 @@ func (w *worker) runBatch(ctx context.Context, lease LeaseResponse) error {
 func (w *worker) report(ctx context.Context, leaseID string, recs []sweep.Record) error {
 	for attempt := 0; ; attempt++ {
 		var resp ReportResponse
-		err := postJSON(ctx, w.hc, w.base+PathReport,
+		err := postJSON(ctx, w.hc, w.base+PathReport, w.opts.Token,
 			ReportRequest{WorkerID: w.id, LeaseID: leaseID, Records: recs}, &resp)
 		if err == nil {
 			if resp.Stale > 0 {

@@ -35,6 +35,10 @@ type Record struct {
 	Attempts   int        `json:"attempts"`
 	WallNS     int64      `json:"wall_ns"`
 	Result     sim.Result `json:"result"`
+	// Results holds the per-core results of a multicore job (Job.
+	// RunMulti); single-core jobs leave it nil, so legacy store bytes
+	// are unchanged.
+	Results []sim.Result `json:"results,omitempty"`
 }
 
 // Store is the persistent append-only JSONL results store. Every

@@ -22,6 +22,13 @@ logdir="${DISTRIBUTED_SMOKE_LOGDIR:-/tmp/distributed_smoke_logs}"
 addr="${DISTRIBUTED_SMOKE_ADDR:-127.0.0.1:7077}"
 lease_ttl="${DISTRIBUTED_SMOKE_LEASE_TTL:-3s}"
 kill_after="${DISTRIBUTED_SMOKE_KILL_AFTER:-3}"
+token="${DISTRIBUTED_SMOKE_TOKEN:-smoke-secret-$$}"
+
+# All status polls carry the shared-secret bearer token the coordinator
+# requires on every endpoint.
+status_post() {
+  curl -sf -X POST -H "Authorization: Bearer $token" -d '{}' "http://$addr/status"
+}
 
 pids=()
 cleanup() {
@@ -49,29 +56,37 @@ echo "== serial baseline =="
 
 echo "== coordinator + 2 workers (lease TTL $lease_ttl) =="
 "$tmp/pmpsweepd" -listen "$addr" -store "$tmp/merged.jsonl" \
-  -lease-ttl "$lease_ttl" -retries 10 -v \
+  -lease-ttl "$lease_ttl" -retries 10 -auth-token "$token" -v \
   >"$tmp/coord.log" 2>&1 &
 coord_pid=$!
 pids+=("$coord_pid")
 
 # Wait for the coordinator to accept connections.
 for _ in $(seq 1 50); do
-  if curl -sf -X POST -d '{}' "http://$addr/status" >/dev/null 2>&1; then break; fi
+  if status_post >/dev/null 2>&1; then break; fi
   sleep 0.1
 done
-curl -sf -X POST -d '{}' "http://$addr/status" >/dev/null \
+status_post >/dev/null \
   || { echo "FAIL: coordinator never came up"; exit 1; }
 
-"$tmp/pmpsweepd" -worker -connect "$addr" -name victim -v \
+echo "== assert: requests without the bearer token are rejected =="
+unauth=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{}' "http://$addr/status")
+if [ "$unauth" != "401" ]; then
+  echo "FAIL: unauthenticated /status returned $unauth, want 401"
+  exit 1
+fi
+echo "PASS: unauthenticated request rejected with 401"
+
+"$tmp/pmpsweepd" -worker -connect "$addr" -name victim -auth-token "$token" -v \
   >"$tmp/worker1.log" 2>&1 &
 victim_pid=$!
 pids+=("$victim_pid")
-"$tmp/pmpsweepd" -worker -connect "$addr" -name survivor -v \
+"$tmp/pmpsweepd" -worker -connect "$addr" -name survivor -auth-token "$token" -v \
   >"$tmp/worker2.log" 2>&1 &
 pids+=("$!")
 
 echo "== distributed run (killing worker 'victim' after ${kill_after}s of progress) =="
-"$tmp/pmpexperiments" -scale quick -remote "$addr" \
+"$tmp/pmpexperiments" -scale quick -remote "$addr" -auth-token "$token" \
   >"$tmp/remote.out" 2>"$tmp/remote.err" &
 client_pid=$!
 pids+=("$client_pid")
@@ -81,7 +96,7 @@ pids+=("$client_pid")
 # then SIGKILL. If the victim finished its batch in the race window,
 # thaw it and retry at its next batch — the kill is never vacuous.
 victim_leased() {
-  curl -sf -X POST -d '{}' "http://$addr/status" 2>/dev/null \
+  status_post 2>/dev/null \
     | grep -o '"name":"victim"[^}]*' | grep -o '"leased":[0-9]*' | cut -d: -f2
 }
 sleep "$kill_after"
@@ -92,7 +107,7 @@ for attempt in $(seq 1 50); do
     kill -STOP "$victim_pid" 2>/dev/null || break
     sleep 0.2 # let reports already on the wire land
     if [ "$(victim_leased || echo 0)" -gt 0 ] 2>/dev/null; then
-      pre_kill=$(curl -sf -X POST -d '{}' "http://$addr/status")
+      pre_kill=$(status_post)
       kill -KILL "$victim_pid" 2>/dev/null || true
       echo "killed victim (pid $victim_pid, attempt $attempt) holding a lease; status then: $pre_kill"
       killed=1
@@ -115,7 +130,7 @@ if [ "$status" -ne 0 ]; then
 fi
 
 echo "== assert: the death was observed and recovered =="
-post=$(curl -sf -X POST -d '{}' "http://$addr/status")
+post=$(status_post)
 echo "final status: $post"
 expired=$(echo "$post" | grep -o '"expired":[0-9]*' | head -1 | cut -d: -f2)
 quarantined=$(echo "$post" | grep -o '"quarantined":[0-9]*' | head -1 | cut -d: -f2)
